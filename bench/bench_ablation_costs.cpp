@@ -1,0 +1,114 @@
+// Ablation bench for the design choices DESIGN.md calls out: how sensitive
+// the headline result (SUV-TM vs LogTM-SE / FasTM) is to
+//  (1) the LogTM-SE software-abort cost model,
+//  (2) SUV's speculation on redirect-table misses (mis-speculation penalty),
+//  (3) the summary signature size (false-filter pressure),
+//  (4) the Bloom signature size (false-conflict pressure, all schemes).
+//
+// Usage: bench_ablation_costs [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "runner/tables.hpp"
+
+using namespace suvtm;
+
+namespace {
+
+std::uint64_t suite_total(sim::Scheme scheme, const sim::SimConfig& cfg,
+                          const stamp::SuiteParams& params) {
+  std::uint64_t total = 0;
+  for (const auto& r : runner::run_suite(scheme, cfg, params)) {
+    total += r.makespan;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  stamp::SuiteParams params;
+  params.scale = argc > 1 ? std::atof(argv[1]) : 0.25;  // sweeps are pricey
+
+  std::printf("Ablation: headline sensitivity to cost-model choices "
+              "(suite-sum cycles, scale=%.2f)\n\n", params.scale);
+
+  // (1) LogTM-SE abort-trap cost.
+  // Past ~300 cycles the genome/intruder abort cascade diverges (the
+  // paper's vicious cycle taken to its logical end), so the sweep stops
+  // inside the stable regime.
+  std::printf("(1) LogTM-SE software abort trap cost\n");
+  std::vector<std::vector<std::string>> t1;
+  t1.push_back({"trap cycles", "LogTM-SE", "SUV-TM", "SUV speedup"});
+  for (Cycle trap : {Cycle{50}, Cycle{100}, Cycle{200}, Cycle{300}}) {
+    sim::SimConfig cfg;
+    cfg.htm.abort_trap_latency = trap;
+    const auto l = suite_total(sim::Scheme::kLogTmSe, cfg, params);
+    const auto s = suite_total(sim::Scheme::kSuv, cfg, params);
+    t1.push_back({runner::fmt_u64(trap), runner::fmt_u64(l),
+                  runner::fmt_u64(s),
+                  runner::fmt_fixed(100.0 * (static_cast<double>(l) / s - 1.0),
+                                    1) + "%"});
+  }
+  std::printf("%s\n", runner::render_table(t1).c_str());
+
+  // (2) SUV mis-speculation penalty.
+  std::printf("(2) SUV mis-speculation penalty (redirect-table miss)\n");
+  std::vector<std::vector<std::string>> t2;
+  t2.push_back({"penalty cycles", "SUV-TM suite cycles"});
+  for (Cycle pen : {Cycle{0}, Cycle{50}, Cycle{100}, Cycle{400}}) {
+    sim::SimConfig cfg;
+    cfg.suv.misspeculation_penalty = pen;
+    t2.push_back({runner::fmt_u64(pen),
+                  runner::fmt_u64(suite_total(sim::Scheme::kSuv, cfg, params))});
+  }
+  std::printf("%s\n", runner::render_table(t2).c_str());
+
+  // (3) Summary signature size.
+  std::printf("(3) redirect summary signature size\n");
+  std::vector<std::vector<std::string>> t3;
+  t3.push_back({"bits", "SUV-TM suite cycles"});
+  for (std::uint32_t bits : {512u, 1024u, 2048u, 8192u}) {
+    sim::SimConfig cfg;
+    cfg.suv.summary_signature_bits = bits;
+    t3.push_back({runner::fmt_u64(bits),
+                  runner::fmt_u64(suite_total(sim::Scheme::kSuv, cfg, params))});
+  }
+  std::printf("%s\n", runner::render_table(t3).c_str());
+
+  // (4) Read/write signature size (false conflicts, affects every scheme).
+  std::printf("(4) read/write Bloom signature size\n");
+  std::vector<std::vector<std::string>> t4;
+  t4.push_back({"bits", "LogTM-SE", "FasTM", "SUV-TM"});
+  for (std::uint32_t bits : {512u, 2048u, 8192u}) {
+    sim::SimConfig cfg;
+    cfg.htm.signature_bits = bits;
+    t4.push_back({runner::fmt_u64(bits),
+                  runner::fmt_u64(suite_total(sim::Scheme::kLogTmSe, cfg, params)),
+                  runner::fmt_u64(suite_total(sim::Scheme::kFasTm, cfg, params)),
+                  runner::fmt_u64(suite_total(sim::Scheme::kSuv, cfg, params))});
+  }
+  std::printf("%s\n", runner::render_table(t4).c_str());
+
+  // (5) Conflict-resolution policy (paper Section III's alternative:
+  // requester-wins dooms the holder instead of stalling the requester).
+  std::printf("(5) conflict-resolution policy (SUV-TM)\n");
+  std::vector<std::vector<std::string>> t5;
+  t5.push_back({"policy", "suite cycles", "aborts"});
+  for (auto policy : {sim::ConflictPolicy::kRequesterStalls,
+                      sim::ConflictPolicy::kRequesterWins}) {
+    sim::SimConfig cfg;
+    cfg.htm.conflict_policy = policy;
+    std::uint64_t cycles = 0, aborts = 0;
+    for (const auto& r : runner::run_suite(sim::Scheme::kSuv, cfg, params)) {
+      cycles += r.makespan;
+      aborts += r.htm.aborts;
+    }
+    t5.push_back({policy == sim::ConflictPolicy::kRequesterStalls
+                      ? "requester-stalls (paper default)"
+                      : "requester-wins (paper alternative)",
+                  runner::fmt_u64(cycles), runner::fmt_u64(aborts)});
+  }
+  std::printf("%s\n", runner::render_table(t5).c_str());
+  return 0;
+}

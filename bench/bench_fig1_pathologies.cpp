@@ -1,0 +1,99 @@
+// Figure 1: the repair and merge pathologies, reproduced as targeted
+// micro-scenarios.
+//
+//  Repair pathology: an aborting LogTM-SE transaction holds isolation while
+//  software walks its undo log; a neighbour that conflicts during that
+//  window stalls (and may itself abort). SUV's flash abort closes the
+//  window. We measure the isolation-window length directly as the Aborting
+//  bucket per abort, plus the neighbour's stall time.
+//
+//  Merge pathology: a lazy (DynTM/FasTM-style) committer publishes its
+//  write set line by line while holding isolation; neighbours conflict
+//  during the merge. With SUV publication is a flash flip. Measured as the
+//  Committing bucket per commit.
+#include <cstdio>
+
+#include "runner/tables.hpp"
+#include "sim/simulator.hpp"
+#include "stamp/framework.hpp"
+
+using namespace suvtm;
+
+namespace {
+
+// Writer threads repeatedly rewrite a shared region in big transactions;
+// reader threads poke at it. High write-write overlap forces aborts.
+struct Scenario {
+  Addr region;
+  std::uint64_t lines;
+  sim::Barrier* bar;
+};
+
+sim::ThreadTask contender(sim::ThreadContext& tc, const Scenario& s,
+                          int rounds) {
+  co_await tc.barrier(*s.bar);
+  for (int r = 0; r < rounds; ++r) {
+    co_await stamp::atomically(tc, 1,
+                               [&](sim::ThreadContext& t) -> sim::Task<void> {
+      // Read-modify-write a window of the shared region, offset per core.
+      const std::uint64_t start =
+          (tc.core() * 7 + static_cast<std::uint64_t>(r)) % s.lines;
+      for (std::uint64_t i = 0; i < 24; ++i) {
+        const Addr a = s.region + ((start + i) % s.lines) * kLineBytes;
+        const std::uint64_t v = co_await t.load(a);
+        co_await t.store(a, v + 1);
+      }
+    });
+    co_await tc.compute(100);
+  }
+  co_await tc.barrier(*s.bar);
+}
+
+void run_scenario(sim::Scheme scheme) {
+  sim::SimConfig cfg;
+  cfg.scheme = scheme;
+  sim::Simulator sim(cfg);
+  Scenario s;
+  s.region = 0x40000;
+  s.lines = 96;  // heavy overlap between the 16 contenders
+  s.bar = &sim.make_barrier(sim.num_cores());
+  for (CoreId c = 0; c < sim.num_cores(); ++c) {
+    sim.spawn(c, contender(sim.context(c), s, 24));
+  }
+  sim.run();
+  const auto b = sim.total_breakdown();
+  const auto& h = sim.htm().stats();
+  const double abort_window =
+      h.aborts ? static_cast<double>(b.get(sim::Bucket::kAborting)) /
+                     static_cast<double>(h.aborts)
+               : 0.0;
+  const double commit_window =
+      h.commits ? static_cast<double>(b.get(sim::Bucket::kCommitting)) /
+                      static_cast<double>(h.commits)
+                : 0.0;
+  std::printf("%-10s makespan=%9llu aborts=%6llu  isolation window per "
+              "abort=%7.1f cy  per commit=%6.1f cy  stalled=%llu\n",
+              sim::scheme_name(scheme),
+              static_cast<unsigned long long>(sim.makespan()),
+              static_cast<unsigned long long>(h.aborts), abort_window,
+              commit_window,
+              static_cast<unsigned long long>(b.get(sim::Bucket::kStalled)));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1 micro-scenario: 16 contenders read-modify-write an "
+              "overlapping 96-line\nregion. The per-abort and per-commit "
+              "isolation windows show the repair and merge\npathologies "
+              "directly.\n\n");
+  for (sim::Scheme s : {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
+                        sim::Scheme::kSuv, sim::Scheme::kDynTm,
+                        sim::Scheme::kDynTmSuv}) {
+    run_scenario(s);
+  }
+  std::printf("\nexpected: LogTM-SE's per-abort window (software log walk) "
+              "dwarfs FasTM's flash\ninvalidate and SUV's flash flip; DynTM's "
+              "per-commit window (lazy publication)\ndwarfs DynTM+SUV's.\n");
+  return 0;
+}

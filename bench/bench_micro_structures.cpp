@@ -1,0 +1,105 @@
+// Host-level micro-benchmarks (google-benchmark) of the hot simulator
+// structures: Bloom signatures, the summary signature, the redirect table
+// and the cache tag array. These guard the simulator's own performance --
+// full-suite experiment time is dominated by exactly these operations.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "htm/signature.hpp"
+#include "mem/cache.hpp"
+#include "sim/config.hpp"
+#include "suv/redirect_table.hpp"
+#include "suv/summary_signature.hpp"
+
+using namespace suvtm;
+
+namespace {
+
+void BM_SignatureAdd(benchmark::State& state) {
+  htm::Signature sig(2048, 2);
+  Rng rng(1);
+  for (auto _ : state) {
+    sig.add(rng.next() >> 6);
+    if (sig.adds() > 4096) sig.clear();
+  }
+}
+BENCHMARK(BM_SignatureAdd);
+
+void BM_SignatureTest(benchmark::State& state) {
+  htm::Signature sig(2048, 2);
+  Rng rng(2);
+  for (int i = 0; i < 256; ++i) sig.add(rng.next() >> 6);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += sig.test(rng.next() >> 6);
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_SignatureTest);
+
+void BM_SummarySignatureAddRemove(benchmark::State& state) {
+  suv::SummarySignature sum(2048, 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    const LineAddr l = rng.next() >> 6;
+    sum.add(l);
+    sum.remove(l);
+  }
+}
+BENCHMARK(BM_SummarySignatureAddRemove);
+
+void BM_RedirectTableLookupHit(benchmark::State& state) {
+  sim::SuvParams p;
+  suv::RedirectTable table(p, 16);
+  Rng rng(4);
+  std::vector<LineAddr> lines;
+  for (int i = 0; i < 256; ++i) {
+    const LineAddr l = rng.next() >> 40;
+    if (table.find(l)) continue;
+    lines.push_back(l);
+    table.insert_transient(
+        {l, l + (1ull << 34), suv::EntryState::kTxnRedirect, 0});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto res = table.lookup(0, lines[i++ % lines.size()]);
+    benchmark::DoNotOptimize(res.entry);
+  }
+}
+BENCHMARK(BM_RedirectTableLookupHit);
+
+void BM_RedirectTableLookupFiltered(benchmark::State& state) {
+  sim::SuvParams p;
+  suv::RedirectTable table(p, 16);
+  Rng rng(5);
+  for (auto _ : state) {
+    auto res = table.lookup(0, rng.next() >> 6);
+    benchmark::DoNotOptimize(res.entry);
+  }
+}
+BENCHMARK(BM_RedirectTableLookupFiltered);
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  mem::Cache cache(32 * 1024, 4);
+  for (LineAddr l = 0; l < 256; ++l) cache.insert(l, mem::CohState::kShared);
+  LineAddr l = 0;
+  for (auto _ : state) {
+    auto* ln = cache.find(l++ % 256);
+    benchmark::DoNotOptimize(ln);
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  mem::Cache cache(32 * 1024, 4);
+  Rng rng(6);
+  for (auto _ : state) {
+    auto v = cache.insert(rng.next() >> 6, mem::CohState::kModified);
+    benchmark::DoNotOptimize(v.valid);
+  }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

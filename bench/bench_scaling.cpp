@@ -1,0 +1,53 @@
+// Thread-scaling ablation (beyond the paper, which fixes 16 cores): how
+// each version-management scheme's suite execution time scales from 1 to
+// 16 cores. Version-management overhead differences compound with core
+// count -- the paper's premise that future many-core CMPs make the choice
+// matter more.
+//
+// Usage: bench_scaling [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "runner/tables.hpp"
+
+using namespace suvtm;
+
+int main(int argc, char** argv) {
+  stamp::SuiteParams params;
+  params.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+  const std::uint32_t core_counts[] = {1, 2, 4, 8, 16};
+  const sim::Scheme schemes[] = {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
+                                 sim::Scheme::kSuv};
+
+  std::printf("Thread scaling: suite-sum cycles per scheme and core count "
+              "(scale=%.2f)\n\n", params.scale);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"cores", "LogTM-SE", "FasTM", "SUV-TM",
+                  "SUV speedup vs LogTM-SE"});
+  for (std::uint32_t cores : core_counts) {
+    std::vector<std::string> row = {runner::fmt_u64(cores)};
+    std::uint64_t logtm = 0, suv = 0;
+    for (sim::Scheme s : schemes) {
+      sim::SimConfig cfg;
+      cfg.mem.num_cores = cores;
+      std::uint64_t total = 0;
+      for (const auto& r : runner::run_suite(s, cfg, params)) {
+        total += r.makespan;
+      }
+      row.push_back(runner::fmt_u64(total));
+      if (s == sim::Scheme::kLogTmSe) logtm = total;
+      if (s == sim::Scheme::kSuv) suv = total;
+    }
+    row.push_back(runner::fmt_fixed(
+        100.0 * (static_cast<double>(logtm) / static_cast<double>(suv) - 1.0),
+        1) + "%");
+    rows.push_back(row);
+  }
+  std::printf("%s\n", runner::render_table(rows).c_str());
+  std::printf("expected shape: at 1 core the schemes differ only by "
+              "bookkeeping costs; the\nSUV advantage grows with core count "
+              "as conflicts (and therefore commit/abort\nisolation windows) "
+              "start to dominate.\n");
+  return 0;
+}

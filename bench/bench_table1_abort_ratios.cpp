@@ -1,0 +1,50 @@
+// Table I analogue: abort behaviour of the STAMP-like applications under
+// each HTM scheme. The paper's Table I surveys abort ratios reported in
+// prior studies (up to 79%+ for STAMP-class workloads); this bench measures
+// the equivalent numbers for our reproduction so they can be compared.
+//
+// Usage: bench_table1_abort_ratios [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "runner/tables.hpp"
+
+using namespace suvtm;
+
+int main(int argc, char** argv) {
+  stamp::SuiteParams params;
+  if (argc > 1) params.scale = std::atof(argv[1]);
+
+  const sim::Scheme schemes[] = {
+      sim::Scheme::kLogTmSe, sim::Scheme::kFasTm, sim::Scheme::kSuv,
+      sim::Scheme::kDynTm, sim::Scheme::kDynTmSuv};
+
+  std::printf("Table I analogue: measured abort ratios per application and "
+              "scheme (scale=%.2f)\n\n", params.scale);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"app", "contention"};
+  for (sim::Scheme s : schemes) header.push_back(sim::scheme_name(s));
+  rows.push_back(header);
+
+  std::vector<std::vector<runner::RunResult>> all;
+  for (sim::Scheme s : schemes) {
+    sim::SimConfig cfg;
+    all.push_back(runner::run_suite(s, cfg, params));
+  }
+  for (std::size_t i = 0; i < all[0].size(); ++i) {
+    const bool high =
+        stamp::make_workload(stamp::all_apps()[i])->high_contention();
+    std::vector<std::string> row = {all[0][i].app, high ? "High" : "Low"};
+    for (std::size_t s = 0; s < std::size(schemes); ++s) {
+      row.push_back(
+          runner::fmt_fixed(100.0 * all[s][i].htm.abort_ratio(), 1) + "%");
+    }
+    rows.push_back(row);
+  }
+  std::printf("%s\n", runner::render_table(rows).c_str());
+  std::printf("paper Table I context: prior studies report abort ratios up "
+              "to 75.9%% (SBCR-HTM),\n79.4%% (LiteTM) and 72-79%% "
+              "(Lee-TM/TransPlant) on STAMP-class workloads, motivating\n"
+              "version management that is cheap on abort as well as commit.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table V: overflow statistics for the coarse-grained applications (bayes,
+// labyrinth, yada). Compares transactional data overflows (speculative
+// state leaving the L1) across schemes against SUV's redirect-table
+// overflows, which the paper reports to be rare.
+//
+// Usage: bench_table5_overflows [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "runner/tables.hpp"
+
+using namespace suvtm;
+
+int main(int argc, char** argv) {
+  stamp::SuiteParams params;
+  if (argc > 1) params.scale = std::atof(argv[1]);
+
+  const stamp::AppId apps[] = {stamp::AppId::kBayes, stamp::AppId::kLabyrinth,
+                               stamp::AppId::kYada};
+
+  std::printf("Table V: overflow statistics for the coarse-grained "
+              "applications (scale=%.2f)\n\n", params.scale);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"app", "scheme", "overflowed txns", "spec evictions",
+                  "FasTM degenerations", "redirect-table ovfl txns",
+                  "L1-table spilled entries", "commits"});
+  for (stamp::AppId app : apps) {
+    for (sim::Scheme s : {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
+                          sim::Scheme::kSuv}) {
+      sim::SimConfig cfg;
+      cfg.scheme = s;
+      auto r = runner::run_app(app, cfg, params);
+      rows.push_back({r.app, sim::scheme_name(s),
+                      runner::fmt_u64(r.htm.overflowed_attempts),
+                      runner::fmt_u64(r.vm.data_overflows),
+                      runner::fmt_u64(r.vm.degenerations),
+                      r.has_suv ? runner::fmt_u64(r.suv.table_overflow_txns)
+                                : "-",
+                      r.has_suv ? runner::fmt_u64(r.table.l1_overflow_entries)
+                                : "-",
+                      runner::fmt_u64(r.htm.commits)});
+    }
+    rows.push_back({});
+  }
+  std::printf("%s\n", runner::render_table(rows).c_str());
+  std::printf("paper Table V shape: LogTM-SE and FasTM suffer transactional "
+              "data overflow on\nthese three applications; SUV reduces data "
+              "overflow and its redirect-table\noverflows are rare (only the "
+              "occasional huge write-set exceeds 512 entries).\n");
+  return 0;
+}

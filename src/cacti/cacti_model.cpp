@@ -1,0 +1,78 @@
+#include "cacti/cacti_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace suvtm::cacti {
+
+const std::vector<TechNode>& tech_nodes() {
+  // Anchors are the paper's Table VII (CACTI 5.3, 4 KB 512-entry FA table).
+  static const std::vector<TechNode> nodes = {
+      {90, 1.382, 0.403, 0.434, 0.951},
+      {65, 0.995, 0.239, 0.260, 0.589},
+      {45, 0.588, 0.150, 0.163, 0.282},
+      {32, 0.412, 0.072, 0.078, 0.143},
+  };
+  return nodes;
+}
+
+std::uint32_t TableEstimate::cycles_at_ghz(double ghz) const {
+  const double period_ns = 1.0 / ghz;
+  return static_cast<std::uint32_t>(std::ceil(access_ns / period_ns));
+}
+
+TableEstimate estimate_fa_table(std::uint32_t feature_nm,
+                                std::uint32_t entries,
+                                std::uint32_t entry_bits) {
+  const TechNode* node = nullptr;
+  for (const auto& n : tech_nodes()) {
+    if (n.feature_nm == feature_nm) node = &n;
+  }
+  assert(node && "feature size must be one of the anchored nodes");
+
+  constexpr double kRefEntries = 512.0;
+  constexpr double kRefBits = 64.0;
+  const double e = static_cast<double>(entries) / kRefEntries;
+  const double b = static_cast<double>(entry_bits) / kRefBits;
+
+  TableEstimate out;
+  out.feature_nm = feature_nm;
+  // RC delay grows with array height ~ sqrt(entries); the CAM match tree
+  // contributes a size-insensitive floor.
+  out.access_ns = node->access_ns * (0.55 + 0.45 * std::sqrt(e));
+  // Comparator energy is linear in entries and width; decode/drive floor.
+  out.read_nj = node->read_nj * (0.25 + 0.75 * e * b);
+  out.write_nj = node->write_nj * (0.25 + 0.75 * e * b);
+  // Bit-cell area dominates.
+  out.area_mm2 = node->area_mm2 * e * b;
+  return out;
+}
+
+double suv_per_core_bytes(std::uint32_t signature_bits,
+                          std::uint32_t table_entries,
+                          std::uint32_t entry_bits) {
+  // Redirect summary signature + the deletion bit-vector + the L1 table.
+  const double bits = 2.0 * signature_bits +
+                      static_cast<double>(table_entries) * entry_bits;
+  return bits / 8.0;
+}
+
+double max_table_power_watts(std::uint32_t feature_nm, std::uint32_t cores,
+                             double ghz) {
+  const TableEstimate est = estimate_fa_table(feature_nm, 512, 64);
+  // Paper Section V-C: 22-bit real entries cost at most half the 64-bit
+  // CACTI estimate; assume one access (avg of read and write) per cycle.
+  const double per_access_nj = 0.5 * (est.read_nj + est.write_nj) / 2.0;
+  return per_access_nj * 1e-9 * cores * ghz * 1e9;
+}
+
+const std::vector<ProcessorRef>& contemporary_processors() {
+  static const std::vector<ProcessorRef> procs = {
+      {"UltraSPARC T1", 90, 1.4, "8/32", 72, 378},
+      {"UltraSPARC T2", 65, 1.4, "8/64", 84, 342},
+      {"Rock Processor", 65, 2.3, "16/32", 250, 396},
+  };
+  return procs;
+}
+
+}  // namespace suvtm::cacti

@@ -1,0 +1,70 @@
+// Analytical hardware-cost model for SUV's first-level fully-associative
+// redirect table (paper Section V-C, Tables VI and VII).
+//
+// The paper ran CACTI 5.3 on a 4 KB, 512-entry, fully-associative table
+// (CACTI's 8-byte-minimum line forces 64-bit entries even though a redirect
+// entry is 22 bits). We reproduce that estimate with an analytical model
+// anchored at the paper's published 90/65/45/32 nm numbers and scaled by
+// standard structural laws for other sizes:
+//   - access time: wordline/bitline RC grows with sqrt(entries); match-line
+//     comparator adds a near-constant term,
+//   - dynamic energy: dominated by the parallel tag comparators, linear in
+//     the number of entries and in entry width,
+//   - area: proportional to bit count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace suvtm::cacti {
+
+struct TechNode {
+  std::uint32_t feature_nm;
+  // Anchor values for the paper's 512-entry x 64-bit configuration.
+  double access_ns;
+  double read_nj;
+  double write_nj;
+  double area_mm2;
+};
+
+/// The four nodes the paper evaluates (Table VII anchors).
+const std::vector<TechNode>& tech_nodes();
+
+struct TableEstimate {
+  std::uint32_t feature_nm;
+  double access_ns;
+  double read_nj;
+  double write_nj;
+  double area_mm2;
+  std::uint32_t cycles_at_ghz(double ghz) const;
+};
+
+/// Cost of an `entries` x `entry_bits` fully-associative table at
+/// `feature_nm` (must be one of the anchored nodes).
+TableEstimate estimate_fa_table(std::uint32_t feature_nm,
+                                std::uint32_t entries,
+                                std::uint32_t entry_bits);
+
+/// Per-core SUV storage in bytes (paper: (2Kb + 2Kb + 22b*512)/8 = 1.875 KB:
+/// redirect summary signature + its deletion bit-vector + the L1 table).
+double suv_per_core_bytes(std::uint32_t signature_bits,
+                          std::uint32_t table_entries,
+                          std::uint32_t entry_bits);
+
+/// Whole-CMP upper bound on the table's dynamic power (paper's "3 J/s"
+/// style estimate): every core accessing its table every cycle.
+double max_table_power_watts(std::uint32_t feature_nm, std::uint32_t cores,
+                             double ghz);
+
+/// Contemporary processors the paper compares against (Table VI).
+struct ProcessorRef {
+  const char* name;
+  std::uint32_t tech_nm;
+  double clock_ghz;
+  const char* cores_threads;
+  double tdp_w;
+  double area_mm2;
+};
+const std::vector<ProcessorRef>& contemporary_processors();
+
+}  // namespace suvtm::cacti

@@ -1,0 +1,24 @@
+#include "common/log.hpp"
+
+namespace suvtm {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+const char* name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kTrace: return "TRACE";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lvl) { g_level = lvl; }
+
+void log_line(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", name(lvl), msg.c_str());
+}
+
+}  // namespace suvtm

@@ -1,0 +1,28 @@
+// Minimal leveled logging. Off by default; enabled per-run for debugging.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace suvtm {
+
+enum class LogLevel { kNone = 0, kWarn = 1, kInfo = 2, kTrace = 3 };
+
+/// Global log level; not thread-safe by design (the simulator is
+/// single-threaded and deterministic).
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+void log_line(LogLevel lvl, const std::string& msg);
+
+#define SUVTM_LOG(lvl, ...)                                     \
+  do {                                                          \
+    if (static_cast<int>(::suvtm::log_level()) >=               \
+        static_cast<int>(::suvtm::LogLevel::lvl)) {             \
+      char buf_[512];                                           \
+      std::snprintf(buf_, sizeof buf_, __VA_ARGS__);            \
+      ::suvtm::log_line(::suvtm::LogLevel::lvl, buf_);          \
+    }                                                           \
+  } while (0)
+
+}  // namespace suvtm

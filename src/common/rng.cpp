@@ -1,0 +1,54 @@
+#include "common/rng.hpp"
+
+namespace suvtm {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64, used only to expand the seed into the xoshiro state.
+std::uint64_t splitmix(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix(x);
+  // Avoid the all-zero state, which xoshiro cannot escape.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Lemire's multiply-shift rejection-free approximation is fine here:
+  // bias is < 2^-64 * bound, irrelevant for simulation workloads.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace suvtm

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// The simulator must be bit-for-bit reproducible across runs, so all
+// randomness (workload inputs, backoff jitter) flows through explicitly
+// seeded Rng instances; std::rand / random_device are never used.
+#pragma once
+
+#include <cstdint>
+
+namespace suvtm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace suvtm

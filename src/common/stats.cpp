@@ -1,0 +1,32 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace suvtm {
+
+void Histogram::add(double x) {
+  std::size_t i = x <= 0 ? 0 : static_cast<std::size_t>(x / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) return width_ * static_cast<double>(i + 1);
+  }
+  return width_ * static_cast<double>(counts_.size());
+}
+
+std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace suvtm

@@ -1,0 +1,64 @@
+// Lightweight statistics accumulators used by every subsystem.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace suvtm {
+
+/// Streaming accumulator: count / sum / min / max / mean.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * num_buckets); values past
+/// the end land in the final (overflow) bucket.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t num_buckets)
+      : width_(bucket_width), counts_(num_buckets, 0) {}
+
+  void add(double x);
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  /// Smallest x such that at least fraction q of samples are <= x
+  /// (bucket upper edge; an approximation by construction).
+  double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ratio helper that tolerates a zero denominator.
+inline double safe_ratio(double num, double den) {
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+/// Percentage string with one decimal, e.g. "12.3%".
+std::string percent(double fraction);
+
+}  // namespace suvtm

@@ -1,0 +1,142 @@
+#include "htm/conflict_manager.hpp"
+
+#include <cassert>
+
+namespace suvtm::htm {
+
+ConflictManager::ConflictManager(std::uint32_t num_cores,
+                                 sim::ConflictPolicy policy)
+    : waits_for_(num_cores, kNoCore), policy_(policy) {}
+
+bool ConflictManager::reaches(CoreId start, CoreId target) const {
+  CoreId cur = start;
+  // The walk terminates: waits_for_ has at most one out-edge per core and we
+  // bound the walk by the core count.
+  for (std::size_t steps = 0; steps <= waits_for_.size(); ++steps) {
+    if (cur == kNoCore) return false;
+    if (cur == target) return true;
+    cur = waits_for_[cur];
+  }
+  return false;
+}
+
+ConflictManager::Decision ConflictManager::check(CoreId core, LineAddr line,
+                                                 bool is_write,
+                                                 bool requester_lazy,
+                                                 const std::vector<Txn*>& txns) {
+  const Txn* self = txns[core];
+  CoreId holder = kNoCore;
+  bool exact = false;
+  Decision d;
+  for (CoreId c = 0; c < txns.size(); ++c) {
+    if (c == core) continue;
+    const Txn* t = txns[c];
+    if (!t || !t->holds_isolation()) continue;
+    const bool holder_lazy_running =
+        t->lazy && t->state == TxnState::kRunning;
+    bool hit;
+    bool check_read_sig;
+    if (holder_lazy_running) {
+      // Buffered writes confer no coherence permission: only write-write
+      // conflicts are eager against a running lazy transaction. A write to a
+      // line the lazy transaction merely READ invalidates its cached copy,
+      // which aborts it (it cannot revalidate its read set).
+      hit = is_write && t->write_sig.test(line);
+      check_read_sig = false;
+      if (!hit && is_write && t->read_sig.test(line)) {
+        d.invalidated_lazy_readers.push_back(c);
+        continue;
+      }
+    } else if (requester_lazy) {
+      // A lazy requester never blocks on readers; uncommitted in-place or
+      // publishing write sets must still NACK it.
+      hit = t->write_sig.test(line);
+      check_read_sig = false;
+    } else {
+      hit = is_write ? (t->read_sig.test(line) || t->write_sig.test(line))
+                     : t->write_sig.test(line);
+      check_read_sig = is_write;
+    }
+    if (!hit) continue;
+    holder = c;
+    exact = t->write_lines.count(line) != 0 ||
+            (check_read_sig && t->read_lines.count(line) != 0);
+    break;
+  }
+  if (holder == kNoCore) {
+    // Check the suspended-transaction summaries (descheduled transactions
+    // still hold isolation; their sets live in the per-core summary).
+    const bool susp_hit =
+        (is_write && suspended_reads_ && suspended_reads_->test(line)) ||
+        (suspended_writes_ && suspended_writes_->test(line));
+    if (susp_hit) {
+      ++stats_.conflicts;
+      ++stats_.suspended_stalls;
+      d.invalidated_lazy_readers.clear();
+      d.action = Action::kStall;  // cannot abort a descheduled transaction
+      return d;
+    }
+    clear_wait(core);
+    return d;
+  }
+
+  // Requester-wins policy: doom the holder (unless it is already
+  // committing) and let the requester spin until the holder's isolation
+  // clears -- the paper's "guarantee the execution of the requester".
+  // Timestamp priority prevents mutual-doom livelock: only an OLDER
+  // requester may kill the holder; younger ones fall back to stalling.
+  if (policy_ == sim::ConflictPolicy::kRequesterWins && self &&
+      self->active() && txns[holder]->state != TxnState::kCommitting &&
+      self->timestamp < txns[holder]->timestamp) {
+    ++stats_.conflicts;
+    ++stats_.requester_wins;
+    d.invalidated_lazy_readers.clear();
+    d.holder = holder;
+    d.victim = holder;
+    d.action = Action::kStall;  // stall until the doomed holder drains
+    return d;
+  }
+
+  ++stats_.conflicts;
+  if (!exact) ++stats_.false_conflicts;
+
+  d.invalidated_lazy_readers.clear();  // only doom readers when proceeding
+  d.holder = holder;
+
+  // Non-transactional requesters just stall; they hold nothing, so they can
+  // never be part of a cycle.
+  if (!self || !self->active()) {
+    d.action = Action::kStall;
+    return d;
+  }
+
+  // Record the wait-for edge, then look for a cycle: does the holder's
+  // chain already reach us?
+  waits_for_[core] = holder;
+  if (reaches(holder, core)) {
+    // Abort the youngest transaction in the cycle.
+    ++stats_.deadlock_aborts;
+    CoreId victim = core;
+    std::uint64_t youngest = txns[core]->timestamp;
+    for (CoreId cur = holder; cur != core; cur = waits_for_[cur]) {
+      const Txn* t = txns[cur];
+      // Committing transactions are past the point of no return.
+      if (t && t->active() && t->state != TxnState::kCommitting &&
+          t->timestamp > youngest) {
+        youngest = t->timestamp;
+        victim = cur;
+      }
+    }
+    d.victim = victim;
+    d.action = victim == core ? Action::kAbortSelf : Action::kStall;
+    if (victim != core) waits_for_[victim] = kNoCore;
+    else waits_for_[core] = kNoCore;
+    return d;
+  }
+  d.action = Action::kStall;
+  return d;
+}
+
+void ConflictManager::clear_wait(CoreId core) { waits_for_[core] = kNoCore; }
+
+}  // namespace suvtm::htm

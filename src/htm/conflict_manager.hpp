@@ -1,0 +1,93 @@
+// Eager conflict detection and the LogTM "Stall" resolution policy.
+//
+// Detection: every access (transactional or not -- strong isolation) is
+// checked against all other cores' active signatures. A write conflicts with
+// any other read or write signature hit; a read conflicts with a write
+// signature hit. Transactions in kCommitting/kAborting still hold isolation.
+//
+// Resolution: the requester stalls and retries. A single-edge wait-for graph
+// (each core stalls on at most one holder at a time) detects potential
+// deadlock; the youngest transaction (latest first-attempt timestamp) in the
+// cycle aborts, which matches LogTM's possible-cycle rule closely enough to
+// preserve both progress and the paper's pathology dynamics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "htm/signature.hpp"
+#include "htm/txn.hpp"
+#include "sim/config.hpp"
+
+namespace suvtm::htm {
+
+struct ConflictStats {
+  std::uint64_t conflicts = 0;        // NACKed requests (incl. retries)
+  std::uint64_t false_conflicts = 0;  // signature hit but exact-set miss
+  std::uint64_t deadlock_aborts = 0;  // victims chosen by cycle detection
+  std::uint64_t requester_wins = 0;   // holders doomed by kRequesterWins
+  std::uint64_t suspended_stalls = 0; // NACKs from suspended-txn summaries
+};
+
+class ConflictManager {
+ public:
+  ConflictManager(std::uint32_t num_cores,
+                  sim::ConflictPolicy policy =
+                      sim::ConflictPolicy::kRequesterStalls);
+
+  sim::ConflictPolicy policy() const { return policy_; }
+
+  /// What the requester must do about a detected conflict.
+  enum class Action : std::uint8_t { kProceed, kStall, kAbortSelf };
+
+  struct Decision {
+    Action action = Action::kProceed;
+    CoreId holder = kNoCore;  // conflicting core when not kProceed
+    CoreId victim = kNoCore;  // transaction doomed by cycle detection
+    /// Running lazy transactions that only *read* a line this write now
+    /// takes exclusive ownership of: the coherence invalidation aborts them
+    /// (DynTM semantics). The caller dooms them; the access proceeds.
+    std::vector<CoreId> invalidated_lazy_readers;
+  };
+
+  /// Check `line` access by `core` against all other transactions and apply
+  /// the stall policy. `txns` is indexed by core; non-transactional
+  /// requesters (txns[core] inactive) can only ever stall.
+  ///
+  /// Mixed-mode (DynTM) matrix -- lazy transactions buffer writes, so:
+  ///  - a running lazy holder NACKs only writes that hit its write
+  ///    signature (write-write conflicts stay eager; reads never see its
+  ///    buffered data, so they pass),
+  ///  - a lazy requester checks only holders' write signatures (readers do
+  ///    not block it; it is doomed at their commit instead).
+  Decision check(CoreId core, LineAddr line, bool is_write, bool requester_lazy,
+                 const std::vector<Txn*>& txns);
+
+  /// The requester's access succeeded or its transaction ended: drop its
+  /// wait-for edge.
+  void clear_wait(CoreId core);
+
+  /// Summary signatures of suspended transactions (paper Section IV-C /
+  /// LogTM-SE): accesses conflicting with a descheduled transaction's sets
+  /// stall until it is resumed and finishes. Pass nullptr to clear.
+  void set_suspended_summary(const Signature* reads, const Signature* writes) {
+    suspended_reads_ = reads;
+    suspended_writes_ = writes;
+  }
+
+  const ConflictStats& stats() const { return stats_; }
+
+ private:
+  /// Walk the wait-for chain from `start`; returns true if it reaches
+  /// `target` (a cycle, given target is about to wait on start's chain).
+  bool reaches(CoreId start, CoreId target) const;
+
+  std::vector<CoreId> waits_for_;  // kNoCore if not waiting
+  sim::ConflictPolicy policy_;
+  const Signature* suspended_reads_ = nullptr;
+  const Signature* suspended_writes_ = nullptr;
+  ConflictStats stats_;
+};
+
+}  // namespace suvtm::htm

@@ -1,0 +1,90 @@
+// HtmSystem: per-core transactions + conflict manager + the configured
+// version-management scheme, glued over the memory system.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "htm/conflict_manager.hpp"
+#include "htm/txn.hpp"
+#include "htm/version_manager.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/config.hpp"
+
+namespace suvtm::htm {
+
+struct HtmStats {
+  std::uint64_t begins = 0;     // outermost transaction attempts
+  std::uint64_t commits = 0;    // committed atomic blocks
+  std::uint64_t aborts = 0;     // aborted attempts
+  std::uint64_t nested_begins = 0;
+  /// Attempts (committed or aborted) whose speculative state overflowed the
+  /// L1 -- the paper Table V's "overflowed transactions" metric.
+  std::uint64_t overflowed_attempts = 0;
+
+  double abort_ratio() const {
+    const double att = static_cast<double>(commits + aborts);
+    return att == 0.0 ? 0.0 : static_cast<double>(aborts) / att;
+  }
+};
+
+class HtmSystem {
+ public:
+  HtmSystem(const sim::SimConfig& cfg, mem::MemorySystem& mem,
+            std::unique_ptr<VersionManager> vm);
+
+  Txn& txn(CoreId c) { return *txns_[c]; }
+  const Txn& txn(CoreId c) const { return *txns_[c]; }
+  std::vector<Txn*>& txn_view() { return txn_view_; }
+
+  VersionManager& vm() { return *vm_; }
+  ConflictManager& conflicts() { return conflicts_; }
+  mem::MemorySystem& mem() { return mem_; }
+  const sim::HtmParams& params() const { return params_; }
+
+  HtmStats& stats() { return stats_; }
+  const HtmStats& stats() const { return stats_; }
+
+  /// Mark a victim transaction for abort (lazy committer wins, or deadlock
+  /// cycle). No-op for idle or committing transactions.
+  void doom(CoreId victim);
+
+  // --- Thread suspension (paper Section IV-C) ------------------------------
+  /// Park the core's running transaction: its read/write sets move into the
+  /// suspended-summary signatures that every conflict check consults, so
+  /// isolation survives the deschedule. Returns false if no transaction is
+  /// running. The core gets a clean descriptor for the next thread.
+  bool suspend_txn(CoreId core);
+  /// Un-park the core's suspended transaction (the core's current
+  /// descriptor must be idle). Returns false if nothing was suspended.
+  bool resume_txn(CoreId core);
+  std::size_t suspended_count() const { return suspended_.size(); }
+
+  // --- Lazy-commit arbitration token (one committer at a time) -------------
+  bool commit_token_free() const { return token_holder_ == kNoCore; }
+  bool acquire_commit_token(CoreId c);
+  void release_commit_token(CoreId c);
+
+ private:
+  sim::HtmParams params_;
+  mem::MemorySystem& mem_;
+  std::unique_ptr<VersionManager> vm_;
+  ConflictManager conflicts_;
+  void rebuild_suspended_summary();
+
+  std::vector<std::unique_ptr<Txn>> txns_;
+  std::vector<Txn*> txn_view_;
+  HtmStats stats_;
+  CoreId token_holder_ = kNoCore;
+
+  struct Suspended {
+    CoreId core;
+    Txn txn;
+  };
+  std::vector<Suspended> suspended_;
+  Signature suspended_reads_{2048, 2};
+  Signature suspended_writes_{2048, 2};
+};
+
+}  // namespace suvtm::htm

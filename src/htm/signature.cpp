@@ -1,0 +1,68 @@
+#include "htm/signature.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace suvtm::htm {
+
+namespace {
+// Distinct odd multipliers per hash index (Knuth-style multiplicative
+// hashing); combined with a final xor-shift for avalanche.
+constexpr std::uint64_t kMul[8] = {
+    0x9e3779b97f4a7c15ull, 0xc2b2ae3d27d4eb4full, 0x165667b19e3779f9ull,
+    0x27d4eb2f165667c5ull, 0x85ebca77c2b2ae63ull, 0xff51afd7ed558ccdull,
+    0xc4ceb9fe1a85ec53ull, 0x2545f4914f6cdd1dull,
+};
+}  // namespace
+
+Signature::Signature(std::uint32_t bits, std::uint32_t hashes)
+    : bits_(bits), k_(hashes), words_((bits + 63) / 64, 0) {
+  assert(bits > 0 && std::has_single_bit(bits));
+  assert(hashes >= 1 && hashes <= 8);
+}
+
+std::uint32_t Signature::hash(LineAddr l, std::uint32_t i, std::uint32_t bits) {
+  std::uint64_t x = l * kMul[i & 7];
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 32;
+  return static_cast<std::uint32_t>(x & (bits - 1));
+}
+
+void Signature::add(LineAddr l) {
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint32_t b = hash(l, i, bits_);
+    words_[b >> 6] |= 1ull << (b & 63);
+  }
+  ++adds_;
+}
+
+bool Signature::test(LineAddr l) const {
+  if (adds_ == 0) return false;
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint32_t b = hash(l, i, bits_);
+    if (!((words_[b >> 6] >> (b & 63)) & 1ull)) return false;
+  }
+  return true;
+}
+
+void Signature::clear() {
+  adds_ = 0;
+  for (auto& w : words_) w = 0;
+}
+
+std::uint32_t Signature::popcount() const {
+  std::uint32_t n = 0;
+  for (auto w : words_) n += static_cast<std::uint32_t>(std::popcount(w));
+  return n;
+}
+
+bool Signature::intersects(const Signature& o) const {
+  assert(bits_ == o.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & o.words_[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace suvtm::htm

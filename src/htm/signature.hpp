@@ -1,0 +1,44 @@
+// Bloom-filter read/write signatures (paper Table III: 2-Kbit filters).
+//
+// Signatures are compact encodings of a transaction's read- and write-sets.
+// They admit false positives -- reported as "false conflicts" in the paper --
+// which we reproduce by using real hashed filters rather than exact sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace suvtm::htm {
+
+class Signature {
+ public:
+  Signature(std::uint32_t bits, std::uint32_t hashes);
+
+  void add(LineAddr l);
+  bool test(LineAddr l) const;
+  void clear();
+
+  bool empty() const { return adds_ == 0; }
+  std::uint64_t adds() const { return adds_; }
+  std::uint32_t bits() const { return bits_; }
+  std::uint32_t num_hashes() const { return k_; }
+  /// Number of set bits (occupancy; used in tests and saturation stats).
+  std::uint32_t popcount() const;
+
+  /// H3-style hash family: hash `i` of line `l` into [0, bits).
+  static std::uint32_t hash(LineAddr l, std::uint32_t i, std::uint32_t bits);
+
+  /// True if any line could be in both signatures (bitwise AND non-empty is
+  /// NOT the membership test -- this is only used for diagnostics).
+  bool intersects(const Signature& o) const;
+
+ private:
+  std::uint32_t bits_;
+  std::uint32_t k_;
+  std::uint64_t adds_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace suvtm::htm

@@ -1,0 +1,15 @@
+#include "htm/txn.hpp"
+
+namespace suvtm::htm {
+
+const char* txn_state_name(TxnState s) {
+  switch (s) {
+    case TxnState::kIdle: return "Idle";
+    case TxnState::kRunning: return "Running";
+    case TxnState::kCommitting: return "Committing";
+    case TxnState::kAborting: return "Aborting";
+    default: return "?";
+  }
+}
+
+}  // namespace suvtm::htm

@@ -1,0 +1,105 @@
+// Per-core hardware transaction descriptor.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "htm/signature.hpp"
+
+namespace suvtm::htm {
+
+/// Transaction lifecycle. A transaction holds isolation (its signatures stay
+/// visible to conflict checks) in kRunning, kCommitting AND kAborting -- the
+/// latter two are exactly the paper's merge and repair pathology windows.
+enum class TxnState : std::uint8_t { kIdle, kRunning, kCommitting, kAborting };
+
+const char* txn_state_name(TxnState s);
+
+/// Closed-nesting frame (LogTM-Nested style): each nesting level snapshots
+/// how much transactional state the level added, so an inner abort can
+/// partially roll back.
+struct NestFrame {
+  std::size_t undo_mark;       // undo-log length at frame entry
+  std::uint64_t read_sig_mark; // signature add-counts at frame entry
+  std::uint64_t write_sig_mark;
+  std::size_t vm_mark;         // scheme-specific rollback position
+};
+
+struct Txn {
+  Txn(CoreId core, std::uint32_t sig_bits, std::uint32_t sig_hashes)
+      : core(core), read_sig(sig_bits, sig_hashes), write_sig(sig_bits, sig_hashes) {}
+
+  CoreId core;
+  TxnState state = TxnState::kIdle;
+
+  /// Begin timestamp of the FIRST attempt; kept across retries so the stall
+  /// policy's abort-youngest rule guarantees progress (LogTM rule).
+  std::uint64_t timestamp = 0;
+  bool has_timestamp = false;
+
+  /// Static transaction-site id, set by the workload; DynTM's selector is
+  /// keyed on it.
+  std::uint32_t site = 0;
+
+  std::uint32_t depth = 0;  // nesting depth; outermost == 1
+  std::vector<NestFrame> frames;
+
+  Signature read_sig;
+  Signature write_sig;
+
+  /// Exact sets, kept alongside the signatures for statistics (false-conflict
+  /// measurement) and for per-line version-management bookkeeping.
+  std::unordered_set<LineAddr> read_lines;
+  std::unordered_set<LineAddr> write_lines;
+
+  /// Word-granularity undo log: (address, old value), in program order.
+  /// LogTM-SE/FasTM functional rollback; SUV leaves it empty.
+  std::vector<std::pair<Addr, std::uint64_t>> undo;
+  std::unordered_set<Addr> logged_words;
+
+  /// Lazy-mode (DynTM) redo buffer: word address -> buffered new value.
+  std::unordered_map<Addr, std::uint64_t> redo;
+
+  bool doomed = false;        // marked for abort by the conflict manager
+  bool overflowed = false;    // speculative state left the L1 this attempt
+  std::uint32_t commit_waits = 0;  // lazy-commit retries spent on eager holders
+  bool lazy = false;          // DynTM execution mode for this attempt
+  bool degenerated = false;   // FasTM fell back to LogTM-SE behaviour
+  std::size_t degen_undo_mark = 0;  // undo length when degeneration began
+  std::uint64_t attempts = 0; // attempt count for the current atomic block
+
+  bool active() const { return state != TxnState::kIdle; }
+  bool holds_isolation() const { return state != TxnState::kIdle; }
+
+  /// Reset per-attempt state. The timestamp survives (progress guarantee).
+  void reset_attempt() {
+    state = TxnState::kIdle;
+    depth = 0;
+    frames.clear();
+    read_sig.clear();
+    write_sig.clear();
+    read_lines.clear();
+    write_lines.clear();
+    undo.clear();
+    logged_words.clear();
+    redo.clear();
+    doomed = false;
+    overflowed = false;
+    degenerated = false;
+    degen_undo_mark = 0;
+    commit_waits = 0;
+  }
+
+  /// Full reset after a successful commit.
+  void reset_committed() {
+    reset_attempt();
+    has_timestamp = false;
+    attempts = 0;
+  }
+};
+
+}  // namespace suvtm::htm

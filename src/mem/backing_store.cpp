@@ -1,0 +1,34 @@
+#include "mem/backing_store.hpp"
+
+namespace suvtm::mem {
+
+BackingStore::Page& BackingStore::page_for(Addr a) {
+  auto& slot = pages_[page_of(a)];
+  if (!slot) slot = std::make_unique<Page>();
+  return *slot;
+}
+
+const BackingStore::Page* BackingStore::page_for_const(Addr a) const {
+  auto it = pages_.find(page_of(a));
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t BackingStore::load(Addr a) const {
+  const Page* p = page_for_const(a);
+  if (!p) return 0;
+  return (*p)[(a % kPageBytes) / kWordBytes];
+}
+
+void BackingStore::store(Addr a, std::uint64_t v) {
+  page_for(a)[(a % kPageBytes) / kWordBytes] = v;
+}
+
+void BackingStore::copy_line(LineAddr src_line, LineAddr dst_line) {
+  const Addr src = addr_of_line(src_line);
+  const Addr dst = addr_of_line(dst_line);
+  for (std::uint32_t w = 0; w < kWordsPerLine; ++w) {
+    store(dst + w * kWordBytes, load(src + w * kWordBytes));
+  }
+}
+
+}  // namespace suvtm::mem

@@ -1,0 +1,42 @@
+// Functional storage for the simulated physical address space.
+//
+// The simulator is functional as well as timing-approximate: workloads store
+// real 64-bit values so that transactional isolation/atomicity invariants can
+// be tested (and SUV's redirection machinery verified end-to-end, not just
+// timed). Storage is paged and allocated lazily; untouched memory reads 0.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace suvtm::mem {
+
+class BackingStore {
+ public:
+  /// Read the aligned 64-bit word containing `a`.
+  std::uint64_t load(Addr a) const;
+
+  /// Write the aligned 64-bit word containing `a`.
+  void store(Addr a, std::uint64_t v);
+
+  /// Copy one 64-byte line worth of words from `src_line` to `dst_line`.
+  /// Used by SUV on (re)direction and FasTM functional modelling.
+  void copy_line(LineAddr src_line, LineAddr dst_line);
+
+  std::size_t pages_touched() const { return pages_.size(); }
+
+ private:
+  static constexpr std::size_t kWordsPerPage = kPageBytes / kWordBytes;
+  using Page = std::array<std::uint64_t, kWordsPerPage>;
+
+  Page& page_for(Addr a);
+  const Page* page_for_const(Addr a) const;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace suvtm::mem

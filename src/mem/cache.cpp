@@ -1,0 +1,98 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+namespace suvtm::mem {
+
+const char* coh_state_name(CohState s) {
+  switch (s) {
+    case CohState::kInvalid: return "I";
+    case CohState::kShared: return "S";
+    case CohState::kExclusive: return "E";
+    case CohState::kModified: return "M";
+    default: return "?";
+  }
+}
+
+Cache::Cache(std::uint32_t total_bytes, std::uint32_t assoc)
+    : num_sets_(total_bytes / kLineBytes / assoc), assoc_(assoc) {
+  assert(num_sets_ > 0 && std::has_single_bit(num_sets_) &&
+         "cache sets must be a power of two");
+  sets_.resize(num_sets_);
+  for (auto& s : sets_) s.reserve(assoc_);
+}
+
+Cache::Line* Cache::find(LineAddr l) {
+  for (auto& ln : set_of(l)) {
+    if (ln.tag == l && ln.state != CohState::kInvalid) return &ln;
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(LineAddr l) const {
+  for (const auto& ln : set_of(l)) {
+    if (ln.tag == l && ln.state != CohState::kInvalid) return &ln;
+  }
+  return nullptr;
+}
+
+Cache::Victim Cache::insert(LineAddr l, CohState st) {
+  auto& set = set_of(l);
+  if (Line* existing = find(l)) {
+    existing->state = st;
+    touch(*existing);
+    return {};
+  }
+  if (set.size() < assoc_) {
+    set.push_back(Line{l, st, ++tick_, false});
+    return {};
+  }
+  // Choose the LRU victim, preferring non-speculative lines.
+  Line* victim = nullptr;
+  for (auto& ln : set) {
+    if (ln.state == CohState::kInvalid) {
+      victim = &ln;
+      break;
+    }
+    if (ln.speculative) continue;
+    if (!victim || ln.lru < victim->lru) victim = &ln;
+  }
+  if (!victim) {
+    // Every way is speculative: FasTM overflow case -- evict LRU anyway and
+    // report it so the version manager can degenerate.
+    for (auto& ln : set) {
+      if (!victim || ln.lru < victim->lru) victim = &ln;
+    }
+  }
+  Victim out;
+  if (victim->state != CohState::kInvalid) {
+    out = {true, victim->tag, victim->state, victim->speculative};
+  }
+  *victim = Line{l, st, ++tick_, false};
+  return out;
+}
+
+void Cache::invalidate(LineAddr l) {
+  if (Line* ln = find(l)) {
+    ln->state = CohState::kInvalid;
+    ln->speculative = false;
+  }
+}
+
+void Cache::for_each(const std::function<void(Line&)>& fn) {
+  for (auto& set : sets_) {
+    for (auto& ln : set) {
+      if (ln.state != CohState::kInvalid) fn(ln);
+    }
+  }
+}
+
+std::uint32_t Cache::set_occupancy(LineAddr l) const {
+  std::uint32_t n = 0;
+  for (const auto& ln : set_of(l)) {
+    if (ln.state != CohState::kInvalid) ++n;
+  }
+  return n;
+}
+
+}  // namespace suvtm::mem

@@ -1,0 +1,77 @@
+// Generic set-associative tag array with true-LRU replacement.
+//
+// Tag-only: data lives in the BackingStore. Used for the per-core L1s, the
+// shared banked L2, and reused (with a different payload meaning) by the SUV
+// second-level redirect table.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace suvtm::mem {
+
+/// Per-line coherence state as seen by the local cache (MESI).
+enum class CohState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+const char* coh_state_name(CohState s);
+
+class Cache {
+ public:
+  struct Line {
+    LineAddr tag = 0;        // full line address (simpler than tag bits)
+    CohState state = CohState::kInvalid;
+    std::uint64_t lru = 0;
+    bool speculative = false;  // FasTM SM bit
+  };
+
+  struct Victim {
+    bool valid = false;      // an eviction happened
+    LineAddr line = 0;
+    CohState state = CohState::kInvalid;
+    bool speculative = false;
+  };
+
+  Cache(std::uint32_t total_bytes, std::uint32_t assoc);
+
+  std::uint32_t num_sets() const { return num_sets_; }
+  std::uint32_t assoc() const { return assoc_; }
+  std::uint32_t set_index(LineAddr l) const {
+    return static_cast<std::uint32_t>(l & (num_sets_ - 1));
+  }
+
+  /// Returns the line's entry if present (any valid state), else nullptr.
+  Line* find(LineAddr l);
+  const Line* find(LineAddr l) const;
+
+  /// Touch for LRU (call on every hit).
+  void touch(Line& ln) { ln.lru = ++tick_; }
+
+  /// Insert `l` with `st`, evicting the LRU way if the set is full.
+  /// Lines with `speculative` set are never chosen as victims while a
+  /// non-speculative victim exists (FasTM tries to keep SM lines resident).
+  Victim insert(LineAddr l, CohState st);
+
+  /// Remove the line if present (invalidation).
+  void invalidate(LineAddr l);
+
+  /// Invoke `fn` for every valid line (e.g. flash-clear of SM bits).
+  void for_each(const std::function<void(Line&)>& fn);
+
+  /// Number of valid lines currently in `l`'s set.
+  std::uint32_t set_occupancy(LineAddr l) const;
+
+ private:
+  std::vector<Line>& set_of(LineAddr l) { return sets_[set_index(l)]; }
+  const std::vector<Line>& set_of(LineAddr l) const { return sets_[set_index(l)]; }
+
+  std::uint32_t num_sets_;
+  std::uint32_t assoc_;
+  std::uint64_t tick_ = 0;
+  std::vector<std::vector<Line>> sets_;
+};
+
+}  // namespace suvtm::mem

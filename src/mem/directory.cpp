@@ -1,0 +1,14 @@
+#include "mem/directory.hpp"
+
+namespace suvtm::mem {
+
+void Directory::remove_core(LineAddr l, CoreId c) {
+  auto it = map_.find(l);
+  if (it == map_.end()) return;
+  DirEntry& e = it->second;
+  e.sharers &= ~(1u << c);
+  if (e.owner == c) e.owner = kNoCore;
+  if (e.sharers == 0 && e.owner == kNoCore) map_.erase(it);
+}
+
+}  // namespace suvtm::mem

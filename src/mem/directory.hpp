@@ -1,0 +1,39 @@
+// Directory state for the MESI protocol (paper Table III: bit-vector of
+// sharers held at the L2, 6-cycle access).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace suvtm::mem {
+
+/// Per-line directory entry: either one owner in M/E, or a set of sharers
+/// in S, or neither (line only in L2/memory).
+struct DirEntry {
+  std::uint32_t sharers = 0;   // bit per core, S copies
+  CoreId owner = kNoCore;      // core holding M/E, or kNoCore
+};
+
+class Directory {
+ public:
+  /// Entry for `l`, creating it on demand.
+  DirEntry& entry(LineAddr l) { return map_[l]; }
+
+  /// Entry if tracked, else nullptr.
+  const DirEntry* find(LineAddr l) const {
+    auto it = map_.find(l);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Drop a core from the line's sharer/owner info (L1 eviction).
+  void remove_core(LineAddr l, CoreId c);
+
+  std::size_t tracked_lines() const { return map_.size(); }
+
+ private:
+  std::unordered_map<LineAddr, DirEntry> map_;
+};
+
+}  // namespace suvtm::mem

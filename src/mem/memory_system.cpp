@@ -1,0 +1,219 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace suvtm::mem {
+
+MemorySystem::MemorySystem(const sim::MemParams& p)
+    : params_(p),
+      mesh_(p.mesh_dim, p.mesh_wire_latency, p.mesh_route_latency),
+      l2_(p.l2_bytes, p.l2_assoc) {
+  l1_.reserve(p.num_cores);
+  tlb_.reserve(p.num_cores);
+  for (std::uint32_t c = 0; c < p.num_cores; ++c) {
+    l1_.emplace_back(p.l1_bytes, p.l1_assoc);
+    tlb_.emplace_back(p.tlb_entries, p.tlb_miss_latency);
+  }
+}
+
+Cycle MemorySystem::fetch_from_l2_or_memory(LineAddr l, std::uint32_t /*bank_tile*/) {
+  if (l2_.find(l)) {
+    ++stats_.l2_hits;
+    l2_.touch(*l2_.find(l));
+    return params_.l2_latency;
+  }
+  ++stats_.l2_misses;
+  // Fill the L2; an L2 eviction recalls any L1 copies of the victim.
+  Cache::Victim v = l2_.insert(l, CohState::kExclusive);
+  Cycle extra = 0;
+  if (v.valid) {
+    const DirEntry* de = dir_.find(v.line);
+    if (de && (de->sharers != 0 || de->owner != kNoCore)) {
+      ++stats_.l2_recalls;
+      extra += params_.directory_latency + mesh_.average_latency();
+      for (CoreId c = 0; c < params_.num_cores; ++c) {
+        if ((de->sharers >> c) & 1u) l1_[c].invalidate(v.line);
+        if (de->owner == c) l1_[c].invalidate(v.line);
+      }
+      dir_.entry(v.line) = DirEntry{};
+    }
+  }
+  return params_.l2_latency + params_.memory_latency + extra;
+}
+
+void MemorySystem::l1_eviction(CoreId core, const Cache::Victim& v) {
+  if (!v.valid) return;
+  if (v.speculative) {
+    ++stats_.spec_evictions;
+  }
+  if (v.state == CohState::kModified) {
+    ++stats_.writebacks;
+    l2_.insert(v.line, CohState::kModified);
+  }
+  dir_.remove_core(v.line, core);
+}
+
+AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
+  assert(core < params_.num_cores);
+  const LineAddr l = line_of(a);
+  AccessOutcome out;
+
+  // TLB lookup runs in parallel with the L1 tag check; only a miss adds
+  // time. Redirect-pool addresses carry their physical page pointer in the
+  // redirect entry (paper Figure 3), so they bypass the TLB entirely.
+  if (a < kRedirectPoolBase) out.latency += tlb_[core].access(a).latency;
+
+  Cache& l1 = l1_[core];
+  Cache::Line* ln = l1.find(l);
+
+  // L1 hit with sufficient permission.
+  if (ln) {
+    const bool ok = is_write
+                        ? (ln->state == CohState::kModified ||
+                           ln->state == CohState::kExclusive)
+                        : true;
+    if (ok) {
+      if (is_write && ln->state == CohState::kExclusive) {
+        ln->state = CohState::kModified;  // silent E->M upgrade
+        DirEntry& e = dir_.entry(l);
+        e.owner = core;
+        e.sharers = 1u << core;
+      }
+      l1.touch(*ln);
+      ++stats_.l1_hits;
+      out.l1_hit = true;
+      out.latency += params_.l1_latency;
+      return out;
+    }
+  }
+
+  // Miss (or S->M upgrade): request travels to the line's home L2 bank.
+  ++stats_.l1_misses;
+  const std::uint32_t bank = mesh_.bank_tile(l);
+  out.latency += params_.l1_latency;  // detect the miss
+  out.latency += mesh_.latency(core, bank) + params_.directory_latency;
+
+  DirEntry& e = dir_.entry(l);
+
+  if (!is_write) {
+    // GETS.
+    if (e.owner != kNoCore && e.owner != core) {
+      // Forward from the owner; owner downgrades M/E -> S (data to L2).
+      ++stats_.forwards;
+      out.latency += mesh_.latency(bank, e.owner) + mesh_.latency(e.owner, core);
+      if (Cache::Line* oln = l1_[e.owner].find(l)) {
+        if (oln->state == CohState::kModified) {
+          ++stats_.writebacks;
+          l2_.insert(l, CohState::kModified);
+        }
+        oln->state = CohState::kShared;
+      }
+      e.sharers |= 1u << e.owner;
+      e.owner = kNoCore;
+      out.l2_hit = true;
+    } else {
+      out.l2_hit = l2_.find(l) != nullptr;
+      out.latency += fetch_from_l2_or_memory(l, bank);
+      out.latency += mesh_.latency(bank, core);  // data reply
+    }
+    const bool exclusive = e.sharers == 0 && e.owner == kNoCore;
+    e.sharers |= 1u << core;
+    // Track the E holder as owner so a later GETS downgrades it (MESI).
+    if (exclusive) e.owner = core;
+    Cache::Victim v =
+        l1.insert(l, exclusive ? CohState::kExclusive : CohState::kShared);
+    if (v.valid && v.speculative) {
+      out.evicted_speculative = true;
+      out.evicted_line = v.line;
+    }
+    l1_eviction(core, v);
+    return out;
+  }
+
+  // GETM.
+  if (e.owner != kNoCore && e.owner != core) {
+    ++stats_.forwards;
+    out.latency += mesh_.latency(bank, e.owner) + mesh_.latency(e.owner, core);
+    if (Cache::Line* oln = l1_[e.owner].find(l)) {
+      if (oln->state == CohState::kModified) {
+        ++stats_.writebacks;
+        l2_.insert(l, CohState::kModified);
+      }
+    }
+    l1_[e.owner].invalidate(l);
+    ++stats_.invalidations;
+    e.owner = kNoCore;
+    e.sharers = 0;
+  } else {
+    // Invalidate all other sharers; cost is the farthest round trip,
+    // invalidations travel in parallel.
+    Cycle worst = 0;
+    for (CoreId c = 0; c < params_.num_cores; ++c) {
+      if (c == core) continue;
+      if ((e.sharers >> c) & 1u) {
+        ++stats_.invalidations;
+        l1_[c].invalidate(l);
+        worst = std::max(worst, mesh_.latency(bank, c) + mesh_.latency(c, core));
+      }
+    }
+    out.latency += worst;
+    const bool had_local_copy = ln != nullptr;
+    if (!had_local_copy) {
+      out.l2_hit = l2_.find(l) != nullptr;
+      out.latency += fetch_from_l2_or_memory(l, bank);
+      out.latency += mesh_.latency(bank, core);
+    }
+  }
+
+  e.owner = core;
+  e.sharers = 1u << core;
+  Cache::Victim v = l1.insert(l, CohState::kModified);
+  if (v.valid && v.speculative) {
+    out.evicted_speculative = true;
+    out.evicted_line = v.line;
+  }
+  l1_eviction(core, v);
+  return out;
+}
+
+bool MemorySystem::install_line(CoreId core, LineAddr l) {
+  DirEntry& e = dir_.entry(l);
+  // Invalidate any other holders (redirect targets are thread-private in
+  // practice; this keeps the directory consistent regardless).
+  for (CoreId c = 0; c < params_.num_cores; ++c) {
+    if (c == core) continue;
+    if (((e.sharers >> c) & 1u) || e.owner == c) l1_[c].invalidate(l);
+  }
+  e.owner = core;
+  e.sharers = 1u << core;
+  Cache::Victim v = l1_[core].insert(l, CohState::kModified);
+  const bool spec = v.valid && v.speculative;
+  l1_eviction(core, v);
+  return spec;
+}
+
+bool MemorySystem::mark_speculative(CoreId core, LineAddr l) {
+  if (Cache::Line* ln = l1_[core].find(l)) {
+    ln->speculative = true;
+    return true;
+  }
+  return false;
+}
+
+void MemorySystem::clear_speculative(CoreId core) {
+  l1_[core].for_each([](Cache::Line& ln) { ln.speculative = false; });
+}
+
+void MemorySystem::invalidate_speculative(CoreId core) {
+  std::vector<LineAddr> doomed;
+  l1_[core].for_each([&](Cache::Line& ln) {
+    if (ln.speculative) doomed.push_back(ln.tag);
+  });
+  for (LineAddr l : doomed) {
+    l1_[core].invalidate(l);
+    dir_.remove_core(l, core);
+  }
+}
+
+}  // namespace suvtm::mem

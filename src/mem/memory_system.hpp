@@ -1,0 +1,97 @@
+// Timing + functional memory hierarchy: per-core L1s, banked shared L2 with
+// an integrated directory, MESI coherence, mesh NoC, per-core TLBs and the
+// functional backing store.
+//
+// The timing model is "atomic-operation, computed-latency": each access
+// updates global cache/directory state at issue time and returns the number
+// of cycles the access takes, which the caller uses to schedule the
+// requesting coroutine's resumption. This is the standard approximation for
+// cycle-approximate simulators; it forgoes modelling in-flight coherence
+// races, which the HTM layer's conflict detection makes unobservable to
+// workloads anyway.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "mem/mesh.hpp"
+#include "mem/tlb.hpp"
+#include "sim/config.hpp"
+
+namespace suvtm::mem {
+
+struct AccessOutcome {
+  Cycle latency = 0;
+  bool l1_hit = false;
+  bool l2_hit = false;
+  /// An L1 line marked speculative (FasTM SM) was evicted by this fill.
+  bool evicted_speculative = false;
+  LineAddr evicted_line = 0;
+};
+
+struct MemStats {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t l2_recalls = 0;
+  std::uint64_t spec_evictions = 0;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const sim::MemParams& p);
+
+  /// Timing access: moves the line into this core's L1 with load (GETS) or
+  /// store (GETM) permission and returns the latency. `a` must already be
+  /// the *final* physical address (any SUV redirection applied by caller).
+  AccessOutcome access(CoreId core, Addr a, bool is_write);
+
+  // Functional word access (no timing).
+  std::uint64_t load_word(Addr a) const { return store_.load(a); }
+  void store_word(Addr a, std::uint64_t v) { store_.store(a, v); }
+  BackingStore& backing() { return store_; }
+
+  /// Install `l` into `core`'s L1 in Modified state without a memory fetch:
+  /// used when hardware materializes a line whose contents it already has
+  /// (SUV's redirect-target allocation + in-cache line copy). Returns true
+  /// if the fill evicted a speculative line (caller reports the overflow).
+  bool install_line(CoreId core, LineAddr l);
+
+  // --- FasTM speculative-line (SM bit) support -----------------------------
+  /// Mark this core's cached copy of `l` speculative. Returns false if the
+  /// line is not resident (caller must have just accessed it).
+  bool mark_speculative(CoreId core, LineAddr l);
+  /// Flash-clear all SM bits (commit).
+  void clear_speculative(CoreId core);
+  /// Invalidate all SM lines (abort); they will demand-refetch.
+  void invalidate_speculative(CoreId core);
+
+  const MemStats& stats() const { return stats_; }
+  const Mesh& mesh() const { return mesh_; }
+  Cache& l1(CoreId core) { return l1_[core]; }
+  Tlb& tlb(CoreId core) { return tlb_[core]; }
+  const sim::MemParams& params() const { return params_; }
+
+ private:
+  Cycle fetch_from_l2_or_memory(LineAddr l, std::uint32_t bank_tile);
+  void l1_eviction(CoreId core, const Cache::Victim& v);
+
+  sim::MemParams params_;
+  Mesh mesh_;
+  std::vector<Cache> l1_;
+  Cache l2_;
+  Directory dir_;
+  std::vector<Tlb> tlb_;
+  BackingStore store_;
+  MemStats stats_;
+};
+
+}  // namespace suvtm::mem

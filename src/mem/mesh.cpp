@@ -1,0 +1,3 @@
+// Mesh is header-only; this TU exists to keep one definition per module and
+// to hold future routing extensions.
+#include "mem/mesh.hpp"

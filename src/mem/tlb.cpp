@@ -1,0 +1,42 @@
+#include "mem/tlb.hpp"
+
+namespace suvtm::mem {
+
+Tlb::Tlb(std::uint32_t entries, Cycle miss_latency)
+    : entries_(entries), miss_latency_(miss_latency) {}
+
+int Tlb::find_slot(std::uint64_t page) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].valid && entries_[i].page == page) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Tlb::Access Tlb::access(Addr a) {
+  const std::uint64_t page = page_of(a);
+  ++tick_;
+  int slot = find_slot(page);
+  if (slot >= 0) {
+    entries_[slot].lru = tick_;
+    ++hits_;
+    return {0, static_cast<std::uint32_t>(slot), true};
+  }
+  ++misses_;
+  // Fill: pick an invalid slot, else LRU victim.
+  std::size_t victim = 0;
+  std::uint64_t best = ~0ull;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].valid) {
+      victim = i;
+      break;
+    }
+    if (entries_[i].lru < best) {
+      best = entries_[i].lru;
+      victim = i;
+    }
+  }
+  entries_[victim] = {page, tick_, true};
+  return {miss_latency_, static_cast<std::uint32_t>(victim), false};
+}
+
+}  // namespace suvtm::mem

@@ -1,0 +1,81 @@
+#include "runner/experiment.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "sim/simulator.hpp"
+
+namespace suvtm::runner {
+
+RunResult run_app(stamp::AppId app, const sim::SimConfig& cfg,
+                  const stamp::SuiteParams& params) {
+  sim::Simulator sim(cfg);
+  auto workload = stamp::make_workload(app);
+  workload->build(sim, params);
+  sim.run();
+  workload->verify(sim);
+
+  RunResult r;
+  r.app = stamp::app_name(app);
+  r.scheme = cfg.scheme;
+  r.makespan = sim.makespan();
+  r.breakdown = sim.total_breakdown();
+  r.htm = sim.htm().stats();
+  r.conflicts = sim.htm().conflicts().stats();
+  r.vm = sim.htm().vm().stats();
+  r.mem = sim.mem().stats();
+
+  // Scheme-specific stats: SUV directly, or via DynTM's backend.
+  htm::VersionManager* vmgr = &sim.htm().vm();
+  if (auto* dyn = dynamic_cast<vm::DynTm*>(vmgr)) {
+    r.has_dyntm = true;
+    r.dyntm = dyn->dyntm_stats();
+    vmgr = &dyn->inner();
+  }
+  if (auto* suvvm = dynamic_cast<vm::SuvVm*>(vmgr)) {
+    r.has_suv = true;
+    r.table = suvvm->table().stats();
+    r.suv = suvvm->suv_stats();
+    r.redirect_entries_live = suvvm->table().total_entries();
+    for (CoreId c = 0; c < sim.num_cores(); ++c) {
+      r.pool_lines_in_use += suvvm->pool(c).lines_in_use();
+    }
+  }
+  return r;
+}
+
+std::vector<RunResult> run_suite(sim::Scheme scheme, const sim::SimConfig& base,
+                                 const stamp::SuiteParams& params) {
+  sim::SimConfig cfg = base;
+  cfg.scheme = scheme;
+  std::vector<RunResult> out;
+  out.reserve(stamp::all_apps().size());
+  for (stamp::AppId app : stamp::all_apps()) {
+    out.push_back(run_app(app, cfg, params));
+  }
+  return out;
+}
+
+double geomean_speedup(const std::vector<RunResult>& base,
+                       const std::vector<RunResult>& test,
+                       bool high_contention_only) {
+  std::unordered_set<std::string> wanted;
+  for (stamp::AppId id : high_contention_only ? stamp::high_contention_apps()
+                                              : stamp::all_apps()) {
+    wanted.insert(stamp::app_name(id));
+  }
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& b : base) {
+    if (!wanted.count(b.app)) continue;
+    for (const auto& t : test) {
+      if (t.app != b.app) continue;
+      log_sum += std::log(static_cast<double>(b.makespan) /
+                          static_cast<double>(t.makespan));
+      ++n;
+    }
+  }
+  return n == 0 ? 1.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+}  // namespace suvtm::runner

@@ -1,0 +1,58 @@
+// Experiment harness: runs one STAMP-like application under one
+// version-management scheme and collects everything the paper's tables and
+// figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "htm/conflict_manager.hpp"
+#include "htm/htm_system.hpp"
+#include "htm/version_manager.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/breakdown.hpp"
+#include "sim/config.hpp"
+#include "stamp/framework.hpp"
+#include "suv/redirect_table.hpp"
+#include "vm/dyntm.hpp"
+#include "vm/suv_vm.hpp"
+
+namespace suvtm::runner {
+
+struct RunResult {
+  std::string app;
+  sim::Scheme scheme{};
+  Cycle makespan = 0;
+  sim::Breakdown breakdown;  // aggregated over cores
+  htm::HtmStats htm;
+  htm::ConflictStats conflicts;
+  htm::VmStats vm;
+  mem::MemStats mem;
+
+  // SUV-specific (valid when has_suv).
+  bool has_suv = false;
+  suv::TableStats table;
+  vm::SuvVmStats suv;
+  std::uint64_t pool_lines_in_use = 0;
+  std::size_t redirect_entries_live = 0;
+
+  // DynTM-specific (valid when has_dyntm).
+  bool has_dyntm = false;
+  vm::DynTmStats dyntm;
+};
+
+/// Run `app` under `cfg`, verify workload invariants, and harvest stats.
+RunResult run_app(stamp::AppId app, const sim::SimConfig& cfg,
+                  const stamp::SuiteParams& params);
+
+/// Run every STAMP app under one scheme.
+std::vector<RunResult> run_suite(sim::Scheme scheme, const sim::SimConfig& base,
+                                 const stamp::SuiteParams& params);
+
+/// Geometric-mean speedup of `test` over `base` across matching apps,
+/// optionally restricted to the paper's five high-contention apps.
+double geomean_speedup(const std::vector<RunResult>& base,
+                       const std::vector<RunResult>& test,
+                       bool high_contention_only);
+
+}  // namespace suvtm::runner

@@ -1,0 +1,106 @@
+#include "runner/tables.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace suvtm::runner {
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return {};
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t i = 0; i < rows[r].size(); ++i) {
+      std::string cell = rows[r][i];
+      cell.resize(widths[i], ' ');
+      out += cell;
+      if (i + 1 < rows[r].size()) out += "  ";
+    }
+    out += '\n';
+    if (r == 0) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        out += std::string(widths[i], '-');
+        if (i + 1 < widths.size()) out += "  ";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string render_csv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    if (row.empty()) continue;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::string& cell = row[i];
+      const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out += '"';
+        for (char c : cell) {
+          if (c == '"') out += '"';
+          out += c;
+        }
+        out += '"';
+      } else {
+        out += cell;
+      }
+      if (i + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_csv(const std::string& path,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = render_csv(rows);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::vector<std::string> breakdown_header() {
+  std::vector<std::string> h = {"config"};
+  for (std::size_t i = 0; i < sim::kNumBuckets; ++i) {
+    h.push_back(sim::bucket_name(static_cast<sim::Bucket>(i)));
+  }
+  h.push_back("total");
+  return h;
+}
+
+std::vector<std::string> breakdown_row(const std::string& label,
+                                       const sim::Breakdown& b,
+                                       double baseline_total) {
+  std::vector<std::string> row = {label};
+  for (std::size_t i = 0; i < sim::kNumBuckets; ++i) {
+    const double share =
+        static_cast<double>(b.get(static_cast<sim::Bucket>(i))) /
+        baseline_total;
+    row.push_back(fmt_fixed(share, 3));
+  }
+  row.push_back(fmt_fixed(static_cast<double>(b.total()) / baseline_total, 3));
+  return row;
+}
+
+}  // namespace suvtm::runner

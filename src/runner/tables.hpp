@@ -1,0 +1,36 @@
+// Plain-text table rendering for the bench binaries: fixed-width columns,
+// reproducible output suitable for diffing against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runner/experiment.hpp"
+
+namespace suvtm::runner {
+
+/// Render rows (first row = header) as an aligned text table.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+/// Render the same rows as RFC-4180-ish CSV (quotes fields containing
+/// commas/quotes). Empty rows are skipped.
+std::string render_csv(const std::vector<std::vector<std::string>>& rows);
+
+/// Write a CSV file; returns false on I/O failure.
+bool write_csv(const std::string& path,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Format helpers.
+std::string fmt_u64(std::uint64_t v);
+std::string fmt_fixed(double v, int decimals);
+
+/// One normalized execution-time breakdown row for Figure 6/9 output:
+/// per-bucket share of `baseline_total` cycles.
+std::vector<std::string> breakdown_row(const std::string& label,
+                                       const sim::Breakdown& b,
+                                       double baseline_total);
+
+/// Header matching breakdown_row.
+std::vector<std::string> breakdown_header();
+
+}  // namespace suvtm::runner

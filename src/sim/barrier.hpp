@@ -1,0 +1,50 @@
+// Simulated-thread barrier. Waiting time is charged to the Barrier bucket.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace suvtm::sim {
+
+class Scheduler;
+
+/// Classic sense-reversing barrier over simulated threads. The last arriver
+/// releases all waiters on the next cycle; waiters record their wait length
+/// so the ThreadContext can attribute it.
+class Barrier {
+ public:
+  Barrier(Scheduler& sched, std::uint32_t parties);
+
+  /// Awaitable returned by arrive(); resumes when all parties have arrived.
+  struct Waiter {
+    Barrier& barrier;
+    Cycle arrived_at;
+    Cycle waited = 0;
+
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h);
+    Cycle await_resume() const noexcept { return waited; }
+  };
+
+  Waiter arrive();
+
+  std::uint32_t parties() const { return parties_; }
+
+ private:
+  friend struct Waiter;
+  void release_all();
+
+  Scheduler& sched_;
+  std::uint32_t parties_;
+  std::uint32_t arrived_ = 0;
+  struct Pending {
+    std::coroutine_handle<> h;
+    Waiter* waiter;
+  };
+  std::vector<Pending> waiting_;
+};
+
+}  // namespace suvtm::sim

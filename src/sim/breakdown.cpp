@@ -1,0 +1,30 @@
+#include "sim/breakdown.hpp"
+
+namespace suvtm::sim {
+
+const char* bucket_name(Bucket b) {
+  switch (b) {
+    case Bucket::kNoTrans: return "NoTrans";
+    case Bucket::kTrans: return "Trans";
+    case Bucket::kBarrier: return "Barrier";
+    case Bucket::kBackoff: return "Backoff";
+    case Bucket::kStalled: return "Stalled";
+    case Bucket::kWasted: return "Wasted";
+    case Bucket::kAborting: return "Aborting";
+    case Bucket::kCommitting: return "Committing";
+    default: return "?";
+  }
+}
+
+Cycle Breakdown::total() const {
+  Cycle t = 0;
+  for (Cycle c : cycles_) t += c;
+  return t;
+}
+
+Breakdown& Breakdown::operator+=(const Breakdown& o) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) cycles_[i] += o.cycles_[i];
+  return *this;
+}
+
+}  // namespace suvtm::sim

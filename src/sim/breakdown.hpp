@@ -1,0 +1,70 @@
+// Per-core execution-time breakdown, mirroring the paper's Figure 6/9
+// buckets: NoTrans, Trans, Barrier, Backoff, Stalled, Wasted, Aborting,
+// plus Committing (Figure 9, DynTM lazy commits).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace suvtm::sim {
+
+enum class Bucket : std::uint8_t {
+  kNoTrans = 0,  ///< non-transactional work
+  kTrans,        ///< un-stalled transactional work that committed
+  kBarrier,      ///< waiting on a barrier
+  kBackoff,      ///< post-abort exponential backoff
+  kStalled,      ///< stalled resolving a conflict (NACK retries)
+  kWasted,       ///< work performed by attempts that later aborted
+  kAborting,     ///< rollback processing while isolation is still held
+  kCommitting,   ///< commit processing (arbitration/publication)
+  kNumBuckets,
+};
+
+inline constexpr std::size_t kNumBuckets =
+    static_cast<std::size_t>(Bucket::kNumBuckets);
+
+const char* bucket_name(Bucket b);
+
+/// Cycle totals per bucket for one core (or aggregated across cores).
+class Breakdown {
+ public:
+  void add(Bucket b, Cycle c) { cycles_[static_cast<std::size_t>(b)] += c; }
+  Cycle get(Bucket b) const { return cycles_[static_cast<std::size_t>(b)]; }
+  Cycle total() const;
+  Breakdown& operator+=(const Breakdown& o);
+  void reset() { cycles_.fill(0); }
+
+ private:
+  std::array<Cycle, kNumBuckets> cycles_{};
+};
+
+/// Accounting helper used by a ThreadContext while a transaction attempt is
+/// in flight: Trans/Stalled cycles are provisional until the attempt
+/// resolves. On commit they are credited as-is; on abort, provisional Trans
+/// becomes Wasted (the paper's definition of wasted work).
+class AttemptAccount {
+ public:
+  void add_trans(Cycle c) { trans_ += c; }
+  void add_stalled(Cycle c) { stalled_ += c; }
+
+  void settle_commit(Breakdown& out) {
+    out.add(Bucket::kTrans, trans_);
+    out.add(Bucket::kStalled, stalled_);
+    reset();
+  }
+  void settle_abort(Breakdown& out) {
+    out.add(Bucket::kWasted, trans_);
+    out.add(Bucket::kStalled, stalled_);
+    reset();
+  }
+  void reset() { trans_ = stalled_ = 0; }
+
+ private:
+  Cycle trans_ = 0;
+  Cycle stalled_ = 0;
+};
+
+}  // namespace suvtm::sim

@@ -1,0 +1,120 @@
+// Simulation configuration. Defaults reproduce the paper's Table III.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace suvtm::sim {
+
+/// Which version-management scheme the HTM runs. The paper's comparison set.
+enum class Scheme {
+  kLogTmSe,    ///< undo log, in-place update, software abort walk
+  kFasTm,      ///< new values in L1, fast abort, degenerates on overflow
+  kSuv,        ///< single-update redirection (this paper's contribution)
+  kDynTm,      ///< history-selected eager/lazy, FasTM version management
+  kDynTmSuv,   ///< DynTM with SUV as its version-management scheme
+};
+
+const char* scheme_name(Scheme s);
+
+/// Memory-hierarchy parameters (paper Table III).
+struct MemParams {
+  std::uint32_t num_cores = 16;        // 4x4 mesh
+  std::uint32_t mesh_dim = 4;
+
+  std::uint32_t l1_bytes = 32 * 1024;  // 32 KB
+  std::uint32_t l1_assoc = 4;
+  Cycle l1_latency = 1;
+
+  std::uint32_t l2_bytes = 8 * 1024 * 1024;  // 8 MB shared
+  std::uint32_t l2_assoc = 8;
+  std::uint32_t l2_banks = 16;               // one bank per tile
+  Cycle l2_latency = 15;
+
+  Cycle directory_latency = 6;
+  Cycle memory_latency = 150;
+  std::uint32_t memory_banks = 4;
+
+  Cycle mesh_wire_latency = 2;   // per hop
+  Cycle mesh_route_latency = 1;  // per hop
+
+  std::uint32_t tlb_entries = 64;
+  Cycle tlb_miss_latency = 30;
+};
+
+/// How a detected conflict is resolved (paper Section III).
+enum class ConflictPolicy {
+  /// LogTM Stall policy: the requester stalls; deadlock cycles abort the
+  /// youngest transaction. The paper's default for all experiments.
+  kRequesterStalls,
+  /// The paper's stated alternative: "make the receiving core stall or
+  /// abort its transaction to guarantee the execution of the requester's
+  /// transaction". The holder is doomed; the requester proceeds after the
+  /// holder's isolation clears.
+  kRequesterWins,
+};
+
+/// HTM-wide parameters (signatures, conflict handling, scheme cost knobs).
+struct HtmParams {
+  std::uint32_t signature_bits = 2048;  // 2 Kbit Bloom filters
+  std::uint32_t signature_hashes = 2;
+  ConflictPolicy conflict_policy = ConflictPolicy::kRequesterStalls;
+
+  Cycle stall_retry_interval = 20;   // re-issue a NACKed request
+  Cycle backoff_base = 40;           // exponential backoff after abort
+  Cycle backoff_cap = 4096;
+  Cycle checkpoint_latency = 1;      // register snapshot / restore
+
+  // LogTM-SE cost model: each first transactional store to a word performs
+  // one extra load (old value) and one store (log append); every 8th log
+  // entry opens a new log cache line.
+  Cycle log_store_extra = 2;
+  Cycle log_new_line_extra = 16;
+  // Software abort handler: trap entry plus a per-entry restore walk.
+  Cycle abort_trap_latency = 200;
+  Cycle abort_per_entry = 8;
+
+  // FasTM: first write to an L1-dirty line writes the old line back to L2.
+  Cycle fastm_writeback_extra = 21;  // dir(6) + L2(15)
+  Cycle fastm_begin_extra = 10;      // write back shared dirty data at begin
+  Cycle fastm_flash_abort = 8;       // flash-invalidate SM lines
+  Cycle fastm_flash_commit = 4;      // flash-clear SM bits
+
+  // DynTM lazy mode.
+  Cycle dyntm_arbitration = 30;      // commit-token acquisition
+  Cycle dyntm_publish_per_line = 21; // per write-set line publication (FasTM VM)
+  Cycle dyntm_lazy_abort = 10;       // discard redo buffer
+  std::uint32_t dyntm_selector_bits = 2;
+};
+
+/// SUV parameters (paper Sections III-IV, Table III).
+struct SuvParams {
+  std::uint32_t l1_table_entries = 512;   // fully associative, zero latency
+  Cycle l1_table_latency = 0;
+  std::uint32_t l2_table_entries = 16384; // 8-way shared
+  std::uint32_t l2_table_assoc = 8;
+  Cycle l2_table_latency = 10;
+  Cycle memory_table_latency = 150;       // software-managed swapped entries
+  Cycle misspeculation_penalty = 100;     // wrong speculative use of original
+
+  std::uint32_t summary_signature_bits = 2048;
+  std::uint32_t summary_signature_hashes = 2;
+
+  Cycle redirect_copy_latency = 1;  // in-cache line copy on (re)direction
+  Cycle flash_commit = 2;           // flip transient entries + sig update
+  Cycle flash_abort = 2;
+};
+
+struct SimConfig {
+  Scheme scheme = Scheme::kSuv;
+  MemParams mem;
+  HtmParams htm;
+  SuvParams suv;
+  std::uint64_t seed = 1;
+  /// Safety valve: abort the simulation if it exceeds this many cycles.
+  Cycle max_cycles = 5'000'000'000ull;
+};
+
+}  // namespace suvtm::sim

@@ -1,0 +1,25 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+
+namespace suvtm::sim {
+
+void Scheduler::at(Cycle t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+bool Scheduler::run(Cycle limit) {
+  while (!queue_.empty()) {
+    if (queue_.top().t > limit) return false;
+    // Move the event out before popping: fn may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++events_;
+    ev.fn();
+  }
+  return true;
+}
+
+}  // namespace suvtm::sim

@@ -1,0 +1,60 @@
+// Deterministic discrete-event scheduler.
+//
+// Single-threaded by design: determinism and reproducibility matter more for
+// an architecture simulator than host-level parallelism, and it keeps the
+// entire coherence/HTM state machine free of host synchronization. Ties are
+// broken by insertion order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace suvtm::sim {
+
+class Scheduler {
+ public:
+  /// Current simulated time.
+  Cycle now() const { return now_; }
+
+  /// Run `fn` at absolute cycle `t` (>= now).
+  void at(Cycle t, std::function<void()> fn);
+
+  /// Run `fn` `delay` cycles from now.
+  void after(Cycle delay, std::function<void()> fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Resume a coroutine `delay` cycles from now.
+  void resume_after(Cycle delay, std::coroutine_handle<> h) {
+    after(delay, [h] { h.resume(); });
+  }
+
+  /// Process events until the queue is empty or `limit` cycles elapse.
+  /// Returns false if the limit was hit with events still pending.
+  bool run(Cycle limit);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return events_; }
+
+ private:
+  struct Event {
+    Cycle t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace suvtm::sim

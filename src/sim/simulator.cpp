@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace suvtm::sim {
+
+Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg) {
+  mem_ = std::make_unique<mem::MemorySystem>(cfg_.mem);
+  htm_ = std::make_unique<htm::HtmSystem>(cfg_, *mem_,
+                                          make_version_manager(cfg_, *mem_));
+  breakdowns_.resize(cfg_.mem.num_cores);
+  contexts_.reserve(cfg_.mem.num_cores);
+  for (CoreId c = 0; c < cfg_.mem.num_cores; ++c) {
+    contexts_.push_back(std::make_unique<ThreadContext>(
+        c, cfg_, sched_, *mem_, *htm_, breakdowns_[c],
+        cfg_.seed * 0x100001b3ull + c));
+  }
+}
+
+Barrier& Simulator::make_barrier(std::uint32_t parties) {
+  barriers_.push_back(std::make_unique<Barrier>(sched_, parties));
+  return *barriers_.back();
+}
+
+void Simulator::spawn(CoreId c, ThreadTask task) {
+  auto s = std::make_unique<Spawned>(Spawned{std::move(task), false, nullptr});
+  auto h = s->task.prepare(&s->done, &s->error);
+  // Stagger thread starts by one cycle for a deterministic, realistic ramp.
+  sched_.at(sched_.now() + c, [h] { h.resume(); });
+  threads_.push_back(std::move(s));
+}
+
+void Simulator::run() {
+  const bool finished = sched_.run(cfg_.max_cycles);
+  for (auto& t : threads_) {
+    if (t->error) std::rethrow_exception(t->error);
+  }
+  if (!finished) {
+    throw std::runtime_error("simulation exceeded max_cycles limit");
+  }
+  for (auto& t : threads_) {
+    if (!t->done) {
+      throw std::runtime_error(
+          "simulated thread never finished (deadlock in workload?)");
+    }
+  }
+}
+
+Breakdown Simulator::total_breakdown() const {
+  Breakdown out;
+  for (const auto& b : breakdowns_) out += b;
+  return out;
+}
+
+}  // namespace suvtm::sim

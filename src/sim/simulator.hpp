@@ -1,0 +1,76 @@
+// Simulator facade: owns the scheduler, memory system, HTM system and one
+// ThreadContext per core; runs spawned thread coroutines to completion.
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "htm/htm_system.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/barrier.hpp"
+#include "sim/breakdown.hpp"
+#include "sim/config.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+#include "sim/thread_context.hpp"
+
+namespace suvtm::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& cfg);
+
+  const SimConfig& config() const { return cfg_; }
+  Scheduler& scheduler() { return sched_; }
+  mem::MemorySystem& mem() { return *mem_; }
+  htm::HtmSystem& htm() { return *htm_; }
+  ThreadContext& context(CoreId c) { return *contexts_[c]; }
+  std::uint32_t num_cores() const { return cfg_.mem.num_cores; }
+
+  /// Create a barrier owned by this simulator (lives until destruction).
+  Barrier& make_barrier(std::uint32_t parties);
+
+  /// Register a thread coroutine for core `c` (at most one per core).
+  void spawn(CoreId c, ThreadTask task);
+
+  /// Run until every spawned thread finishes. Throws if a thread escaped an
+  /// exception or the cycle limit was exceeded.
+  void run();
+
+  /// Total simulated time (cycle of the last processed event).
+  Cycle makespan() const { return sched_.now(); }
+
+  const Breakdown& breakdown(CoreId c) const { return breakdowns_[c]; }
+  Breakdown total_breakdown() const;
+
+  /// Host-side word read that follows any live version-management
+  /// redirection (SUV global entries). Use this -- not the raw backing
+  /// store -- for post-run verification.
+  std::uint64_t read_word_resolved(Addr a) {
+    return mem_->load_word(htm_->vm().debug_resolve(kNoCore, a));
+  }
+
+ private:
+  SimConfig cfg_;
+  Scheduler sched_;
+  std::unique_ptr<mem::MemorySystem> mem_;
+  std::unique_ptr<htm::HtmSystem> htm_;
+  std::vector<Breakdown> breakdowns_;
+  std::vector<std::unique_ptr<ThreadContext>> contexts_;
+  std::vector<std::unique_ptr<Barrier>> barriers_;
+
+  struct Spawned {
+    ThreadTask task;
+    bool done = false;
+    std::exception_ptr error;
+  };
+  std::vector<std::unique_ptr<Spawned>> threads_;
+};
+
+/// Construct the version manager for `cfg.scheme` (defined in vm/factory.cpp).
+std::unique_ptr<htm::VersionManager> make_version_manager(
+    const SimConfig& cfg, mem::MemorySystem& mem);
+
+}  // namespace suvtm::sim

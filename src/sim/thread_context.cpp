@@ -1,0 +1,269 @@
+#include "sim/thread_context.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "htm/htm_system.hpp"
+#include "sim/scheduler.hpp"
+
+namespace suvtm::sim {
+
+ThreadContext::ThreadContext(CoreId core, const SimConfig& cfg,
+                             Scheduler& sched, mem::MemorySystem& mem,
+                             htm::HtmSystem& htm, Breakdown& breakdown,
+                             std::uint64_t rng_seed)
+    : core_(core), cfg_(cfg), sched_(sched), mem_(mem), htm_(htm),
+      breakdown_(breakdown), rng_(rng_seed) {}
+
+htm::Txn& ThreadContext::txn() { return htm_.txn(core_); }
+
+bool ThreadContext::in_tx() const {
+  return const_cast<ThreadContext*>(this)->txn().state ==
+         htm::TxnState::kRunning;
+}
+
+void ThreadContext::start_abort(bool* aborted, std::coroutine_handle<> h) {
+  htm::Txn& t = txn();
+  assert(t.active());
+  t.state = htm::TxnState::kAborting;
+  // An aborting transaction is not waiting on anyone: drop its wait-for
+  // edge now so rollback time cannot fabricate phantom deadlock cycles.
+  htm_.conflicts().clear_wait(core_);
+  const Cycle cost = htm_.vm().abort_cost(t);
+  breakdown_.add(Bucket::kAborting, cost);
+  attempt_.settle_abort(breakdown_);
+  ++htm_.stats().aborts;
+  sched_.after(cost, [this, aborted, h] {
+    htm::Txn& t2 = txn();
+    if (t2.overflowed) ++htm_.stats().overflowed_attempts;
+    htm_.vm().on_abort_done(t2);
+    htm_.conflicts().clear_wait(core_);
+    t2.reset_attempt();  // timestamp survives: progress guarantee
+    *aborted = true;
+    h.resume();
+  });
+}
+
+void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
+  htm::Txn& t = txn();
+  const bool tx = t.state == htm::TxnState::kRunning;
+
+  if (tx && t.doomed) {
+    start_abort(&aw.aborted, h);
+    return;
+  }
+
+  const LineAddr line = line_of(aw.addr);
+  const bool lazy = tx && t.lazy;
+  const bool exclusive = aw.is_store || aw.rmw;
+  auto dec = htm_.conflicts().check(core_, line, exclusive, lazy,
+                                    htm_.txn_view());
+  if (dec.victim != kNoCore && dec.victim != core_) htm_.doom(dec.victim);
+  for (CoreId reader : dec.invalidated_lazy_readers) htm_.doom(reader);
+  if (dec.action == htm::ConflictManager::Action::kAbortSelf) {
+    start_abort(&aw.aborted, h);
+    return;
+  }
+  if (dec.action == htm::ConflictManager::Action::kStall) {
+    const Cycle w = cfg_.htm.stall_retry_interval;
+    if (tx) attempt_.add_stalled(w);
+    else breakdown_.add(Bucket::kNoTrans, w);
+    sched_.after(w, [this, &aw, h] { issue_mem(aw, h); });
+    return;
+  }
+
+  // Access granted: version-management bookkeeping, then the timed access.
+  auto& vm = htm_.vm();
+  Cycle extra = 0;
+  Cycle extra_if_l1_hit = 0;
+  Addr target = aw.addr;
+  bool buffered_store = false;
+
+  if (tx) {
+    if (aw.is_store) {
+      // The version manager sees the store *before* the write-set update so
+      // it can distinguish the first store to a line (FasTM's old-line
+      // writeback, SUV's entry allocation).
+      const htm::StoreAction act = vm.on_tx_store(t, aw.addr);
+      t.write_sig.add(line);
+      t.write_lines.insert(line);
+      target = act.target;
+      extra = act.extra;
+      extra_if_l1_hit = act.extra_if_l1_hit;
+      buffered_store = act.buffered;
+    } else {
+      t.read_sig.add(line);
+      t.read_lines.insert(line);
+      if (aw.rmw) {
+        // Claim exclusive ownership now; the upcoming store to this line
+        // will not need a second coherence round or an upgrade.
+        t.write_sig.add(line);
+        t.write_lines.insert(line);
+      }
+      const htm::LoadAction act = vm.resolve_load(core_, &t, aw.addr);
+      if (act.buffered) {
+        // Served from the lazy redo buffer: an L1-speed private access.
+        aw.value = *act.buffered;
+        const Cycle lat = cfg_.mem.l1_latency + act.extra;
+        attempt_.add_trans(lat);
+        sched_.resume_after(lat, h);
+        return;
+      }
+      target = act.target;
+      extra = act.extra;
+      extra_if_l1_hit = act.extra_if_l1_hit;
+    }
+  } else {
+    const htm::LoadAction act = aw.is_store
+                                    ? vm.resolve_nontx_store(core_, aw.addr)
+                                    : vm.resolve_load(core_, nullptr, aw.addr);
+    target = act.target;
+    extra = act.extra;
+    extra_if_l1_hit = act.extra_if_l1_hit;
+  }
+
+  if (buffered_store) {
+    t.redo[aw.addr] = aw.store_value;
+    const Cycle lat = cfg_.mem.l1_latency + extra;
+    attempt_.add_trans(lat);
+    sched_.resume_after(lat, h);
+    return;
+  }
+
+  const mem::AccessOutcome out =
+      mem_.access(core_, target, aw.is_store || aw.rmw);
+  if (out.evicted_speculative && t.active()) {
+    t.overflowed = true;
+    vm.on_spec_eviction(t, out.evicted_line);
+  }
+
+  if (aw.is_store) {
+    mem_.store_word(target, aw.store_value);
+    if (tx) mem_.mark_speculative(core_, line_of(target));
+  } else {
+    aw.value = mem_.load_word(target);
+  }
+
+  // Table-probe cycles ride the coherence request on a data-cache miss
+  // (SUV piggybacks redirection resolution); they only cost time on a hit.
+  const Cycle lat = out.latency + extra + (out.l1_hit ? extra_if_l1_hit : 0);
+  if (tx) attempt_.add_trans(lat);
+  else breakdown_.add(Bucket::kNoTrans, lat);
+  sched_.resume_after(lat, h);
+}
+
+void ThreadContext::issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h) {
+  htm::Txn& t = txn();
+  if (t.state == htm::TxnState::kRunning) {
+    // Closed nesting: push a frame recording current transactional extent.
+    ++t.depth;
+    t.frames.push_back({t.undo.size(), t.read_sig.adds(), t.write_sig.adds(),
+                        htm_.vm().nest_mark(t)});
+    ++htm_.stats().nested_begins;
+    attempt_.add_trans(cfg_.htm.checkpoint_latency);
+    sched_.resume_after(cfg_.htm.checkpoint_latency, h);
+    return;
+  }
+  assert(t.state == htm::TxnState::kIdle);
+  t.state = htm::TxnState::kRunning;
+  t.depth = 1;
+  t.site = aw.site;
+  if (!t.has_timestamp) {
+    t.timestamp = (sched_.now() << 5) | core_;
+    t.has_timestamp = true;
+  }
+  ++t.attempts;
+  ++htm_.stats().begins;
+  const Cycle cost = cfg_.htm.checkpoint_latency + htm_.vm().on_begin(t);
+  attempt_.add_trans(cost);
+  sched_.resume_after(cost, h);
+}
+
+void ThreadContext::issue_commit(CommitAwaiter& aw, std::coroutine_handle<> h) {
+  htm::Txn& t = txn();
+  assert(t.state == htm::TxnState::kRunning && "commit outside a transaction");
+
+  if (t.doomed) {
+    start_abort(&aw.aborted, h);
+    return;
+  }
+  if (t.depth > 1) {
+    // Closed-nested commit: merge into the parent (keep signatures/log).
+    --t.depth;
+    t.frames.pop_back();
+    attempt_.add_trans(1);
+    sched_.resume_after(1, h);
+    return;
+  }
+  if (t.lazy && !htm_.acquire_commit_token(core_)) {
+    // Commit arbitration: one lazy committer at a time.
+    const Cycle w = cfg_.htm.stall_retry_interval;
+    breakdown_.add(Bucket::kCommitting, w);
+    sched_.after(w, [this, &aw, h] { issue_commit(aw, h); });
+    return;
+  }
+  if (!htm_.vm().commit_ready(t)) {
+    // Lazy committer waiting out eager owners of its write set.
+    if (t.lazy) htm_.release_commit_token(core_);
+    const Cycle w = cfg_.htm.stall_retry_interval;
+    breakdown_.add(Bucket::kCommitting, w);
+    sched_.after(w, [this, &aw, h] { issue_commit(aw, h); });
+    return;
+  }
+
+  t.state = htm::TxnState::kCommitting;
+  htm_.conflicts().clear_wait(core_);  // a committer waits on no one
+  const Cycle cost = htm_.vm().commit_cost(t);
+  breakdown_.add(Bucket::kCommitting, cost);
+  sched_.after(cost, [this, h] {
+    htm::Txn& t2 = txn();
+    if (t2.overflowed) ++htm_.stats().overflowed_attempts;
+    htm_.vm().on_commit_done(t2);
+    if (t2.lazy) htm_.release_commit_token(core_);
+    htm_.conflicts().clear_wait(core_);
+    attempt_.settle_commit(breakdown_);
+    t2.reset_committed();
+    ++htm_.stats().commits;
+    h.resume();
+  });
+}
+
+void ThreadContext::issue_rollback_inner(RollbackInnerAwaiter& aw,
+                                         std::coroutine_handle<> h) {
+  htm::Txn& t = txn();
+  assert(t.state == htm::TxnState::kRunning && t.depth > 1 &&
+         "tx_rollback_inner requires an open nested frame");
+  if (t.doomed || !htm_.vm().supports_partial_abort(t)) {
+    // Fall back to a full abort; the outer retry loop re-executes.
+    start_abort(&aw.aborted, h);
+    return;
+  }
+  const htm::NestFrame frame = t.frames.back();
+  t.frames.pop_back();
+  --t.depth;
+  const Cycle cost = htm_.vm().partial_abort(t, frame.vm_mark);
+  // The frame's work was wasted; the partial rollback holds isolation.
+  breakdown_.add(Bucket::kAborting, cost);
+  aw.rolled_back = true;
+  sched_.resume_after(cost, h);
+}
+
+void ThreadContext::issue_compute(ComputeAwaiter& aw,
+                                  std::coroutine_handle<> h) {
+  if (in_tx()) attempt_.add_trans(aw.cycles);
+  else breakdown_.add(Bucket::kNoTrans, aw.cycles);
+  sched_.resume_after(aw.cycles, h);
+}
+
+void ThreadContext::issue_backoff(BackoffAwaiter&, std::coroutine_handle<> h) {
+  const htm::Txn& t = txn();
+  const auto& p = cfg_.htm;
+  const unsigned shift =
+      static_cast<unsigned>(std::min<std::uint64_t>(t.attempts, 10));
+  const Cycle ceiling = std::min<Cycle>(p.backoff_cap, p.backoff_base << shift);
+  const Cycle wait = rng_.range(p.backoff_base, std::max<Cycle>(p.backoff_base, ceiling));
+  breakdown_.add(Bucket::kBackoff, wait);
+  sched_.resume_after(wait, h);
+}
+
+}  // namespace suvtm::sim

@@ -1,0 +1,174 @@
+// ThreadContext: the per-core bridge between workload coroutines and the
+// simulator. Every awaitable here suspends the calling coroutine on the
+// event scheduler and resumes it when the simulated operation completes;
+// transactional aborts surface as TxAbort exceptions from await_resume.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/barrier.hpp"
+#include "sim/breakdown.hpp"
+#include "sim/config.hpp"
+#include "sim/task.hpp"
+
+namespace suvtm::htm {
+class HtmSystem;
+struct Txn;
+}
+namespace suvtm::mem {
+class MemorySystem;
+}
+
+namespace suvtm::sim {
+
+class Scheduler;
+
+class ThreadContext {
+ public:
+  ThreadContext(CoreId core, const SimConfig& cfg, Scheduler& sched,
+                mem::MemorySystem& mem, htm::HtmSystem& htm,
+                Breakdown& breakdown, std::uint64_t rng_seed);
+
+  // ---- awaitables ----------------------------------------------------------
+
+  struct MemAwaiter {
+    ThreadContext& tc;
+    Addr addr;
+    std::uint64_t store_value;
+    bool is_store;
+    bool rmw = false;  // load with store intent (exclusive permission)
+    std::uint64_t value = 0;
+    bool aborted = false;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { tc.issue_mem(*this, h); }
+    std::uint64_t await_resume() const {
+      if (aborted) throw TxAbort{};
+      return value;
+    }
+  };
+
+  struct BeginAwaiter {
+    ThreadContext& tc;
+    std::uint32_t site;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { tc.issue_begin(*this, h); }
+    void await_resume() const noexcept {}
+  };
+
+  struct CommitAwaiter {
+    ThreadContext& tc;
+    bool aborted = false;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { tc.issue_commit(*this, h); }
+    void await_resume() const {
+      if (aborted) throw TxAbort{};
+    }
+  };
+
+  struct ComputeAwaiter {
+    ThreadContext& tc;
+    Cycle cycles;
+    bool await_ready() const noexcept { return cycles == 0; }
+    void await_suspend(std::coroutine_handle<> h) { tc.issue_compute(*this, h); }
+    void await_resume() const noexcept {}
+  };
+
+  struct BackoffAwaiter {
+    ThreadContext& tc;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { tc.issue_backoff(*this, h); }
+    void await_resume() const noexcept {}
+  };
+
+  struct RollbackInnerAwaiter {
+    ThreadContext& tc;
+    bool aborted = false;    // fell back to a full abort
+    bool rolled_back = false;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      tc.issue_rollback_inner(*this, h);
+    }
+    bool await_resume() const {
+      if (aborted) throw TxAbort{};
+      return rolled_back;
+    }
+  };
+
+  struct BarrierAwaiter {
+    ThreadContext& tc;
+    Barrier::Waiter inner;
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> h) { return inner.await_suspend(h); }
+    void await_resume() const {
+      tc.breakdown_.add(Bucket::kBarrier, inner.await_resume());
+    }
+  };
+
+  /// Load the 64-bit word at `a` (transactional when inside tx()).
+  MemAwaiter load(Addr a) { return {*this, a, 0, false}; }
+  /// Load with store intent: takes exclusive coherence permission up front,
+  /// the way compiled read-modify-write sequences do. Avoids the classic
+  /// read-then-upgrade deadlock on hot words (queue heads, counters).
+  MemAwaiter load_rmw(Addr a) { return {*this, a, 0, false, true}; }
+  /// Store `v` to the 64-bit word at `a`.
+  MemAwaiter store(Addr a, std::uint64_t v) { return {*this, a, v, true}; }
+  /// Begin a transaction at static site `site` (nesting supported).
+  BeginAwaiter tx_begin(std::uint32_t site = 0) { return {*this, site}; }
+  /// Commit the innermost transaction.
+  CommitAwaiter tx_commit() { return {*this}; }
+  /// Burn `n` cycles of non-memory work.
+  ComputeAwaiter compute(Cycle n) { return {*this, n}; }
+  /// Post-abort randomized exponential backoff.
+  BackoffAwaiter backoff() { return {*this}; }
+  /// Partially abort the innermost nested frame (paper Section IV-C closed
+  /// nesting): the frame's version state rolls back and the frame is
+  /// popped, leaving the outer transaction running. Returns true on a
+  /// partial rollback; throws TxAbort if the scheme cannot partially abort
+  /// (DynTM lazy mode) or the transaction is already doomed -- the full
+  /// retry loop handles those. Must be called at depth > 1.
+  RollbackInnerAwaiter tx_rollback_inner() { return {*this}; }
+  /// Wait at `b`; time is charged to the Barrier bucket.
+  BarrierAwaiter barrier(Barrier& b) { return {*this, b.arrive()}; }
+
+  CoreId core() const { return core_; }
+  bool in_tx() const;
+  Rng& rng() { return rng_; }
+  Breakdown& breakdown() { return breakdown_; }
+
+ private:
+  friend struct MemAwaiter;
+  friend struct BeginAwaiter;
+  friend struct CommitAwaiter;
+  friend struct ComputeAwaiter;
+  friend struct BackoffAwaiter;
+  friend struct RollbackInnerAwaiter;
+
+  htm::Txn& txn();
+
+  void issue_mem(MemAwaiter& aw, std::coroutine_handle<> h);
+  void issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h);
+  void issue_commit(CommitAwaiter& aw, std::coroutine_handle<> h);
+  void issue_compute(ComputeAwaiter& aw, std::coroutine_handle<> h);
+  void issue_backoff(BackoffAwaiter& aw, std::coroutine_handle<> h);
+  void issue_rollback_inner(RollbackInnerAwaiter& aw,
+                            std::coroutine_handle<> h);
+
+  /// Enter kAborting, pay the version manager's rollback cost while
+  /// isolation is still held, then resume `h` with `*aborted` set.
+  void start_abort(bool* aborted, std::coroutine_handle<> h);
+
+  CoreId core_;
+  const SimConfig& cfg_;
+  Scheduler& sched_;
+  mem::MemorySystem& mem_;
+  htm::HtmSystem& htm_;
+  Breakdown& breakdown_;
+  AttemptAccount attempt_;
+  Rng rng_;
+};
+
+}  // namespace suvtm::sim

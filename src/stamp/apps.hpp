@@ -1,0 +1,19 @@
+// Factories for the eight STAMP-like applications (one TU each).
+#pragma once
+
+#include <memory>
+
+#include "stamp/framework.hpp"
+
+namespace suvtm::stamp {
+
+std::unique_ptr<Workload> make_bayes();
+std::unique_ptr<Workload> make_genome();
+std::unique_ptr<Workload> make_intruder();
+std::unique_ptr<Workload> make_kmeans();
+std::unique_ptr<Workload> make_labyrinth();
+std::unique_ptr<Workload> make_ssca2();
+std::unique_ptr<Workload> make_vacation();
+std::unique_ptr<Workload> make_yada();
+
+}  // namespace suvtm::stamp

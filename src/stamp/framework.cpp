@@ -1,0 +1,56 @@
+#include "stamp/framework.hpp"
+
+#include <cassert>
+
+#include "stamp/apps.hpp"
+
+namespace suvtm::stamp {
+
+std::unique_ptr<Workload> make_workload(AppId id) {
+  switch (id) {
+    case AppId::kBayes: return make_bayes();
+    case AppId::kGenome: return make_genome();
+    case AppId::kIntruder: return make_intruder();
+    case AppId::kKmeans: return make_kmeans();
+    case AppId::kLabyrinth: return make_labyrinth();
+    case AppId::kSsca2: return make_ssca2();
+    case AppId::kVacation: return make_vacation();
+    case AppId::kYada: return make_yada();
+  }
+  assert(false && "unknown AppId");
+  return nullptr;
+}
+
+const std::vector<AppId>& all_apps() {
+  static const std::vector<AppId> apps = {
+      AppId::kBayes,  AppId::kGenome,    AppId::kIntruder, AppId::kKmeans,
+      AppId::kLabyrinth, AppId::kSsca2, AppId::kVacation, AppId::kYada,
+  };
+  return apps;
+}
+
+const std::vector<AppId>& high_contention_apps() {
+  // Paper Section V: bayes, genome, intruder, labyrinth and yada are the
+  // five high-contention/coarse-grained applications (Table IV).
+  static const std::vector<AppId> apps = {
+      AppId::kBayes, AppId::kGenome, AppId::kIntruder, AppId::kLabyrinth,
+      AppId::kYada,
+  };
+  return apps;
+}
+
+const char* app_name(AppId id) {
+  switch (id) {
+    case AppId::kBayes: return "bayes";
+    case AppId::kGenome: return "genome";
+    case AppId::kIntruder: return "intruder";
+    case AppId::kKmeans: return "kmeans";
+    case AppId::kLabyrinth: return "labyrinth";
+    case AppId::kSsca2: return "ssca2";
+    case AppId::kVacation: return "vacation";
+    case AppId::kYada: return "yada";
+  }
+  return "?";
+}
+
+}  // namespace suvtm::stamp

@@ -1,0 +1,189 @@
+#include "stamp/sim_ds.hpp"
+
+#include <cassert>
+
+namespace suvtm::stamp {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+// ---- SimHashMap -------------------------------------------------------------
+
+SimHashMap::SimHashMap(SimAllocator& alloc, std::uint64_t buckets,
+                       std::uint64_t nodes_per_thread, std::uint32_t threads,
+                       bool padded_buckets)
+    : buckets_(buckets),
+      bucket_stride_(padded_buckets ? kLineBytes : kWordBytes),
+      arena_(alloc, 24, nodes_per_thread, threads) {
+  buckets_base_ = alloc.alloc(buckets * bucket_stride_, kLineBytes);
+}
+
+Addr SimHashMap::bucket_addr(std::uint64_t key) const {
+  return buckets_base_ + (mix(key) % buckets_) * bucket_stride_;
+}
+
+sim::Task<bool> SimHashMap::insert(sim::ThreadContext& tc, std::uint64_t key,
+                                   std::uint64_t value) {
+  const Addr bucket = bucket_addr(key);
+  std::uint64_t node = co_await tc.load(bucket);
+  const std::uint64_t head = node;
+  while (node != kNullPtr) {
+    if (co_await tc.load(node + kKeyOff) == key) co_return false;
+    node = co_await tc.load(node + kNextOff);
+  }
+  const Addr fresh = arena_.take(tc.core());
+  co_await tc.store(fresh + kKeyOff, key);
+  co_await tc.store(fresh + kValOff, value);
+  co_await tc.store(fresh + kNextOff, head);
+  co_await tc.store(bucket, fresh);
+  co_return true;
+}
+
+sim::Task<std::optional<std::uint64_t>> SimHashMap::find(
+    sim::ThreadContext& tc, std::uint64_t key) {
+  std::uint64_t node = co_await tc.load(bucket_addr(key));
+  while (node != kNullPtr) {
+    if (co_await tc.load(node + kKeyOff) == key) {
+      co_return co_await tc.load(node + kValOff);
+    }
+    node = co_await tc.load(node + kNextOff);
+  }
+  co_return std::nullopt;
+}
+
+sim::Task<bool> SimHashMap::update(sim::ThreadContext& tc, std::uint64_t key,
+                                   std::uint64_t value) {
+  std::uint64_t node = co_await tc.load(bucket_addr(key));
+  while (node != kNullPtr) {
+    if (co_await tc.load(node + kKeyOff) == key) {
+      co_await tc.store(node + kValOff, value);
+      co_return true;
+    }
+    node = co_await tc.load(node + kNextOff);
+  }
+  co_return false;
+}
+
+sim::Task<std::optional<std::uint64_t>> SimHashMap::erase(
+    sim::ThreadContext& tc, std::uint64_t key) {
+  const Addr bucket = bucket_addr(key);
+  Addr prev_link = bucket;
+  std::uint64_t node = co_await tc.load(bucket);
+  while (node != kNullPtr) {
+    if (co_await tc.load(node + kKeyOff) == key) {
+      const std::uint64_t val = co_await tc.load(node + kValOff);
+      const std::uint64_t next = co_await tc.load(node + kNextOff);
+      co_await tc.store(prev_link, next);
+      co_return val;  // node storage leaks to the arena by design
+    }
+    prev_link = node + kNextOff;
+    node = co_await tc.load(node + kNextOff);
+  }
+  co_return std::nullopt;
+}
+
+void SimHashMap::preload(mem::BackingStore& bs, std::uint64_t key,
+                         std::uint64_t value) {
+  const Addr bucket = bucket_addr(key);
+  const std::uint64_t head = bs.load(bucket);
+  const Addr fresh = arena_.take(0);  // preload runs before the workers
+  bs.store(fresh + kKeyOff, key);
+  bs.store(fresh + kValOff, value);
+  bs.store(fresh + kNextOff, head);
+  bs.store(bucket, fresh);
+}
+
+std::optional<std::uint64_t> SimHashMap::peek(const WordLoader& load,
+                                              std::uint64_t key) const {
+  std::uint64_t node = load(bucket_addr(key));
+  while (node != kNullPtr) {
+    if (load(node + kKeyOff) == key) return load(node + kValOff);
+    node = load(node + kNextOff);
+  }
+  return std::nullopt;
+}
+
+// ---- SimQueue ---------------------------------------------------------------
+
+SimQueue::SimQueue(SimAllocator& alloc, std::uint64_t capacity)
+    : capacity_(capacity) {
+  head_addr_ = alloc.alloc_lines(1);
+  tail_addr_ = alloc.alloc_lines(1);
+  slots_ = alloc.alloc(capacity * kWordBytes, kLineBytes);
+}
+
+sim::Task<bool> SimQueue::push(sim::ThreadContext& tc, std::uint64_t value) {
+  const std::uint64_t tail = co_await tc.load_rmw(tail_addr_);
+  const std::uint64_t head = co_await tc.load(head_addr_);
+  if (tail - head >= capacity_) co_return false;
+  co_await tc.store(slots_ + (tail % capacity_) * kWordBytes, value);
+  co_await tc.store(tail_addr_, tail + 1);
+  co_return true;
+}
+
+sim::Task<std::optional<std::uint64_t>> SimQueue::pop(sim::ThreadContext& tc) {
+  const std::uint64_t head = co_await tc.load_rmw(head_addr_);
+  const std::uint64_t tail = co_await tc.load(tail_addr_);
+  if (head == tail) co_return std::nullopt;
+  const std::uint64_t v =
+      co_await tc.load(slots_ + (head % capacity_) * kWordBytes);
+  co_await tc.store(head_addr_, head + 1);
+  co_return v;
+}
+
+void SimQueue::preload(mem::BackingStore& bs,
+                       const std::vector<std::uint64_t>& values) {
+  assert(values.size() <= capacity_);
+  for (std::uint64_t i = 0; i < values.size(); ++i) {
+    bs.store(slots_ + (i % capacity_) * kWordBytes, values[i]);
+  }
+  bs.store(head_addr_, 0);
+  bs.store(tail_addr_, values.size());
+}
+
+// ---- SimSortedList ----------------------------------------------------------
+
+SimSortedList::SimSortedList(SimAllocator& alloc,
+                             std::uint64_t nodes_per_thread,
+                             std::uint32_t threads)
+    : sentinel_(alloc, 16, 1), arena_(alloc, 16, nodes_per_thread, threads) {
+  head_ = sentinel_.take();  // sentinel: key 0, next null (keys must be > 0)
+}
+
+sim::Task<bool> SimSortedList::insert(sim::ThreadContext& tc,
+                                      std::uint64_t key) {
+  Addr prev = head_;
+  std::uint64_t cur = co_await tc.load(head_ + kNextOff);
+  while (cur != kNullPtr) {
+    const std::uint64_t k = co_await tc.load(cur + kKeyOff);
+    if (k == key) co_return false;
+    if (k > key) break;
+    prev = cur;
+    cur = co_await tc.load(cur + kNextOff);
+  }
+  const Addr fresh = arena_.take(tc.core());
+  co_await tc.store(fresh + kKeyOff, key);
+  co_await tc.store(fresh + kNextOff, cur);
+  co_await tc.store(prev + kNextOff, fresh);
+  co_return true;
+}
+
+sim::Task<bool> SimSortedList::contains(sim::ThreadContext& tc,
+                                        std::uint64_t key) {
+  std::uint64_t cur = co_await tc.load(head_ + kNextOff);
+  while (cur != kNullPtr) {
+    const std::uint64_t k = co_await tc.load(cur + kKeyOff);
+    if (k == key) co_return true;
+    if (k > key) co_return false;
+    cur = co_await tc.load(cur + kNextOff);
+  }
+  co_return false;
+}
+
+}  // namespace suvtm::stamp

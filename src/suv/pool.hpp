@@ -1,0 +1,71 @@
+// Preserved redirect pool (paper Section III): a reserved memory region per
+// core from which redirected target lines are allocated, page at a time.
+//
+// Deviation from the paper, documented in DESIGN.md: the paper notes that
+// the original address of a globally redirected line becomes reclaimable for
+// later redirections. We count those reclaimable lines but do not hand them
+// out as redirect targets, because a later toggle-delete of the entry that
+// freed them would clobber the tenant. The pool instead grows monotonically
+// and recycles only its own freed lines, which is safe and changes only the
+// pool-footprint statistic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace suvtm::suv {
+
+/// Base of the reserved pool region: far above any workload allocation
+/// (shared constant: the memory system uses it to skip TLB walks, since a
+/// redirect entry carries its target's physical page pointer).
+inline constexpr Addr kPoolRegionBase = kRedirectPoolBase;
+inline constexpr Addr kPoolRegionPerCore = 1ull << 34;  // 16 GiB per core
+
+struct PoolStats {
+  std::uint64_t pages_allocated = 0;
+  std::uint64_t lines_handed_out = 0;
+  std::uint64_t lines_recycled = 0;
+  std::uint64_t reclaimable_originals = 0;
+};
+
+class PreservedPool {
+ public:
+  explicit PreservedPool(CoreId core);
+
+  /// Allocate a pool line to serve as a redirect target.
+  LineAddr allocate();
+
+  /// Return a pool line (its redirect entry was deleted or aborted).
+  void release(LineAddr l);
+
+  /// Record that an original line became reclaimable (entry went global).
+  void note_reclaimable_original() { ++stats_.reclaimable_originals; }
+
+  /// True if `l` lies inside any core's pool region.
+  static bool in_pool_region(LineAddr l) {
+    return addr_of_line(l) >= kPoolRegionBase;
+  }
+
+  /// The core whose region contains pool line `l`. Lines must be released
+  /// to their owning pool (a toggling transaction on another core frees a
+  /// line it never allocated).
+  static CoreId owner_of(LineAddr l) {
+    return static_cast<CoreId>((l - line_of(kPoolRegionBase)) /
+                               line_of(kPoolRegionPerCore));
+  }
+
+  std::uint64_t lines_in_use() const { return in_use_; }
+  const PoolStats& stats() const { return stats_; }
+
+ private:
+  CoreId core_ = 0;
+  LineAddr base_line_;
+  std::uint64_t next_index_ = 0;
+  std::vector<LineAddr> free_list_;
+  std::uint64_t in_use_ = 0;
+  PoolStats stats_;
+};
+
+}  // namespace suvtm::suv

@@ -1,0 +1,49 @@
+#include "suv/redirect_entry.hpp"
+
+#include <cassert>
+
+namespace suvtm::suv {
+
+const char* entry_state_name(EntryState s) {
+  switch (s) {
+    case EntryState::kInvalid: return "invalid(g0v0)";
+    case EntryState::kTxnRedirect: return "txn-redirect(g0v1)";
+    case EntryState::kTxnUnredirect: return "txn-unredirect(g1v0)";
+    case EntryState::kGlobalRedirect: return "global-redirect(g1v1)";
+    default: return "?";
+  }
+}
+
+PackedEntry PackedEntry::pack(std::uint32_t l1_index, EntryState state,
+                              std::uint32_t tlb_index,
+                              std::uint32_t page_offset) {
+  assert(l1_index < (1u << kL1IndexBits));
+  assert(tlb_index < (1u << kTlbIndexBits));
+  assert(page_offset < (1u << kOffsetBits));
+  PackedEntry p;
+  p.bits = l1_index;
+  p.bits |= static_cast<std::uint32_t>(state) << kL1IndexBits;
+  p.bits |= tlb_index << (kL1IndexBits + kStateBits);
+  p.bits |= page_offset << (kL1IndexBits + kStateBits + kTlbIndexBits);
+  return p;
+}
+
+std::uint32_t PackedEntry::l1_index() const {
+  return bits & ((1u << kL1IndexBits) - 1);
+}
+
+EntryState PackedEntry::state() const {
+  return static_cast<EntryState>((bits >> kL1IndexBits) &
+                                 ((1u << kStateBits) - 1));
+}
+
+std::uint32_t PackedEntry::tlb_index() const {
+  return (bits >> (kL1IndexBits + kStateBits)) & ((1u << kTlbIndexBits) - 1);
+}
+
+std::uint32_t PackedEntry::page_offset() const {
+  return (bits >> (kL1IndexBits + kStateBits + kTlbIndexBits)) &
+         ((1u << kOffsetBits) - 1);
+}
+
+}  // namespace suvtm::suv

@@ -1,0 +1,113 @@
+// SUV redirect entries (paper Figure 3 + Table II).
+//
+// An entry maps an original line address to a redirected line in the
+// preserved pool. Its two state bits (global, valid) encode four states:
+//
+//   g=0 v=0  kInvalid          free slot
+//   g=0 v=1  kTxnRedirect      transient: owner txn uses the target;
+//                              everyone else still uses the original
+//   g=1 v=1  kGlobalRedirect   stable: all accesses use the target
+//   g=1 v=0  kTxnUnredirect    transient: a global entry whose owner txn
+//                              stored again and was redirected *back* to the
+//                              original address -- owner uses the original,
+//                              everyone else the target. Commit deletes the
+//                              entry; abort restores kGlobalRedirect.
+//
+// Commit flash-flips (paper Section IV-B):  g0v1 -> g1v1,  g1v0 -> g0v0.
+// Abort  flash-flips:                       g0v1 -> g0v0,  g1v0 -> g1v1.
+//
+// The hardware entry is 22 bits: 7-bit L1 cache index, 2-bit state, 6-bit
+// TLB index, 7-bit in-page offset. We model entries with full addresses as
+// ground truth and provide the packed encoding for fidelity and hardware
+// cost accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace suvtm::suv {
+
+enum class EntryState : std::uint8_t {
+  kInvalid = 0,         // g=0 v=0
+  kTxnRedirect = 1,     // g=0 v=1
+  kTxnUnredirect = 2,   // g=1 v=0
+  kGlobalRedirect = 3,  // g=1 v=1
+};
+
+const char* entry_state_name(EntryState s);
+
+constexpr bool global_bit(EntryState s) {
+  return s == EntryState::kTxnUnredirect || s == EntryState::kGlobalRedirect;
+}
+constexpr bool valid_bit(EntryState s) {
+  return s == EntryState::kTxnRedirect || s == EntryState::kGlobalRedirect;
+}
+constexpr EntryState state_from_bits(bool g, bool v) {
+  return g ? (v ? EntryState::kGlobalRedirect : EntryState::kTxnUnredirect)
+           : (v ? EntryState::kTxnRedirect : EntryState::kInvalid);
+}
+
+/// Commit-time flash transition for one entry.
+constexpr EntryState commit_flip(EntryState s) {
+  // g: 0->1 if v==1; 1->0 if v==0. v unchanged.
+  const bool v = valid_bit(s);
+  const bool g = v;  // after flip the global bit equals the valid bit
+  return state_from_bits(g, v);
+}
+
+/// Abort-time flash transition for one entry.
+constexpr EntryState abort_flip(EntryState s) {
+  // v: 0->1 if g==1; 1->0 if g==0. g unchanged.
+  const bool g = global_bit(s);
+  const bool v = g;  // after flip the valid bit equals the global bit
+  return state_from_bits(g, v);
+}
+
+struct RedirectEntry {
+  LineAddr original = 0;
+  LineAddr target = 0;
+  EntryState state = EntryState::kInvalid;
+  CoreId owner = kNoCore;  // owning core while in a transient state
+
+  bool transient() const {
+    return state == EntryState::kTxnRedirect ||
+           state == EntryState::kTxnUnredirect;
+  }
+
+  /// Line this core's accesses should use (Table II semantics).
+  LineAddr resolve_for(CoreId core) const {
+    switch (state) {
+      case EntryState::kGlobalRedirect: return target;
+      case EntryState::kTxnRedirect: return core == owner ? target : original;
+      case EntryState::kTxnUnredirect: return core == owner ? original : target;
+      case EntryState::kInvalid: default: return original;
+    }
+  }
+};
+
+/// Packed 22-bit hardware encoding (paper Figure 3). The address fields are
+/// *clues* relative to the L1 cache and TLB contents, so packing requires
+/// the index context; we expose it for structure-accuracy tests and CACTI
+/// sizing, not as the simulator's ground truth.
+struct PackedEntry {
+  std::uint32_t bits = 0;  // only the low 22 bits are meaningful
+
+  static constexpr std::uint32_t kL1IndexBits = 7;
+  static constexpr std::uint32_t kStateBits = 2;
+  static constexpr std::uint32_t kTlbIndexBits = 6;
+  static constexpr std::uint32_t kOffsetBits = 7;
+  static constexpr std::uint32_t kTotalBits =
+      kL1IndexBits + kStateBits + kTlbIndexBits + kOffsetBits;  // == 22
+
+  static PackedEntry pack(std::uint32_t l1_index, EntryState state,
+                          std::uint32_t tlb_index, std::uint32_t page_offset);
+  std::uint32_t l1_index() const;
+  EntryState state() const;
+  std::uint32_t tlb_index() const;
+  std::uint32_t page_offset() const;
+};
+
+static_assert(PackedEntry::kTotalBits == 22, "paper specifies 22-bit entries");
+
+}  // namespace suvtm::suv

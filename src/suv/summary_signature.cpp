@@ -1,0 +1,45 @@
+#include "suv/summary_signature.hpp"
+
+#include <cassert>
+
+namespace suvtm::suv {
+
+SummarySignature::SummarySignature(std::uint32_t bits, std::uint32_t hashes)
+    : bits_(bits), k_(hashes), counts_(bits, 0) {
+  assert(hashes >= 1 && hashes <= 8);
+}
+
+void SummarySignature::add(LineAddr l) {
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint32_t b = htm::Signature::hash(l, i, bits_);
+    if (counts_[b] != 0xff) ++counts_[b];
+  }
+  ++members_;
+}
+
+void SummarySignature::remove(LineAddr l) {
+  // Paper Figure 5: clear only the bits this address wrote *uniquely*;
+  // shared (count > 1) bits are decremented but remain set, saturated
+  // counters are left alone (the filter may only ever shrink toward the
+  // truth, never under-approximate it).
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint32_t b = htm::Signature::hash(l, i, bits_);
+    if (counts_[b] != 0 && counts_[b] != 0xff) --counts_[b];
+  }
+  if (members_ > 0) --members_;
+}
+
+bool SummarySignature::test(LineAddr l) const {
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint32_t b = htm::Signature::hash(l, i, bits_);
+    if (counts_[b] == 0) return false;
+  }
+  return true;
+}
+
+void SummarySignature::clear() {
+  members_ = 0;
+  for (auto& c : counts_) c = 0;
+}
+
+}  // namespace suvtm::suv

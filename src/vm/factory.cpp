@@ -1,0 +1,44 @@
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "vm/dyntm.hpp"
+#include "vm/fastm.hpp"
+#include "vm/logtm_se.hpp"
+#include "vm/suv_vm.hpp"
+
+namespace suvtm::sim {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kLogTmSe: return "LogTM-SE";
+    case Scheme::kFasTm: return "FasTM";
+    case Scheme::kSuv: return "SUV-TM";
+    case Scheme::kDynTm: return "DynTM";
+    case Scheme::kDynTmSuv: return "DynTM+SUV";
+    default: return "?";
+  }
+}
+
+std::unique_ptr<htm::VersionManager> make_version_manager(
+    const SimConfig& cfg, mem::MemorySystem& mem) {
+  switch (cfg.scheme) {
+    case Scheme::kLogTmSe:
+      return std::make_unique<vm::LogTmSe>(cfg.htm, mem);
+    case Scheme::kFasTm:
+      return std::make_unique<vm::FasTm>(cfg.htm, mem);
+    case Scheme::kSuv:
+      return std::make_unique<vm::SuvVm>(cfg.suv, mem, cfg.mem.num_cores);
+    case Scheme::kDynTm:
+      return std::make_unique<vm::DynTm>(
+          cfg.htm, mem, std::make_unique<vm::FasTm>(cfg.htm, mem),
+          /*suv_backend=*/false);
+    case Scheme::kDynTmSuv:
+      return std::make_unique<vm::DynTm>(
+          cfg.htm, mem,
+          std::make_unique<vm::SuvVm>(cfg.suv, mem, cfg.mem.num_cores),
+          /*suv_backend=*/true);
+  }
+  return nullptr;
+}
+
+}  // namespace suvtm::sim

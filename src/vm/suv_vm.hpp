@@ -1,0 +1,71 @@
+// SUV version management -- the paper's contribution.
+//
+// Every transactional store is redirected to a line in the per-core
+// preserved pool (or toggled back to its original line if a global redirect
+// entry already exists); the redirect table tracks the mapping. Commit and
+// abort are flash bit-flips over the transaction's transient entries:
+// exactly one data update happens per store regardless of outcome, so both
+// ends of the transaction release isolation in near-constant time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "htm/version_manager.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/config.hpp"
+#include "suv/pool.hpp"
+#include "suv/redirect_table.hpp"
+
+namespace suvtm::vm {
+
+struct SuvVmStats {
+  std::uint64_t entries_created = 0;     // fresh transient redirects
+  std::uint64_t entries_toggled = 0;     // redirect-back on a global entry
+  std::uint64_t entries_published = 0;   // transient -> global at commit
+  std::uint64_t entries_deleted = 0;     // toggle-commit deletions
+  std::uint64_t entries_discarded = 0;   // transient removed at abort
+  std::uint64_t entries_reverted = 0;    // toggle rolled back to global
+  std::uint64_t table_overflow_txns = 0; // txns whose entries spilled the L1 table
+};
+
+class SuvVm final : public htm::VersionManager {
+ public:
+  SuvVm(const sim::SuvParams& p, mem::MemorySystem& mem,
+        std::uint32_t num_cores);
+
+  const char* name() const override { return "SUV-TM"; }
+
+  htm::LoadAction resolve_load(CoreId core, htm::Txn* txn, Addr a) override;
+  Addr debug_resolve(CoreId core, Addr a) const override;
+  htm::StoreAction on_tx_store(htm::Txn& txn, Addr a) override;
+  Cycle commit_cost(htm::Txn& txn) override;
+  void on_commit_done(htm::Txn& txn) override;
+  Cycle abort_cost(htm::Txn& txn) override;
+  void on_abort_done(htm::Txn& txn) override;
+  std::size_t nest_mark(const htm::Txn& txn) const override {
+    return owned_[txn.core].size();
+  }
+  Cycle partial_abort(htm::Txn& txn, std::size_t mark) override;
+
+  suv::RedirectTable& table() { return table_; }
+  const suv::RedirectTable& table() const { return table_; }
+  suv::PreservedPool& pool(CoreId c) { return *pools_[c]; }
+  const SuvVmStats& suv_stats() const { return sstats_; }
+
+ private:
+  /// Extra commit/abort flash cost for entries that spilled to the shared
+  /// second-level table (their flips cannot ride the per-core flash).
+  Cycle overflow_flip_cost(const htm::Txn& txn) const;
+
+  sim::SuvParams params_;
+  mem::MemorySystem& mem_;
+  suv::RedirectTable table_;
+  std::vector<std::unique_ptr<suv::PreservedPool>> pools_;
+  /// Lines with transient entries owned by each core's running transaction.
+  std::vector<std::vector<LineAddr>> owned_;
+  SuvVmStats sstats_;
+};
+
+}  // namespace suvtm::vm

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hpp"
+
+namespace suvtm::mem {
+namespace {
+
+TEST(BackingStoreTest, UntouchedMemoryReadsZero) {
+  BackingStore bs;
+  EXPECT_EQ(bs.load(0), 0u);
+  EXPECT_EQ(bs.load(0xdeadbeef00), 0u);
+  EXPECT_EQ(bs.pages_touched(), 0u);
+}
+
+TEST(BackingStoreTest, StoreLoadRoundtrip) {
+  BackingStore bs;
+  bs.store(0x100, 42);
+  EXPECT_EQ(bs.load(0x100), 42u);
+  EXPECT_EQ(bs.load(0x108), 0u);
+}
+
+TEST(BackingStoreTest, SubWordAddressesAliasTheWord) {
+  BackingStore bs;
+  bs.store(0x100, 7);
+  EXPECT_EQ(bs.load(0x103), 7u);  // same aligned word
+}
+
+TEST(BackingStoreTest, PagesAllocatedLazily) {
+  BackingStore bs;
+  bs.store(0 * kPageBytes, 1);
+  bs.store(5 * kPageBytes, 2);
+  EXPECT_EQ(bs.pages_touched(), 2u);
+  bs.store(5 * kPageBytes + 8, 3);
+  EXPECT_EQ(bs.pages_touched(), 2u);
+}
+
+TEST(BackingStoreTest, HighAddressesWork) {
+  BackingStore bs;
+  const Addr a = (1ull << 40) + 64;  // redirect-pool territory
+  bs.store(a, 99);
+  EXPECT_EQ(bs.load(a), 99u);
+}
+
+TEST(BackingStoreTest, CopyLineCopiesAllWords) {
+  BackingStore bs;
+  const Addr src = 0x1000;
+  for (std::uint32_t w = 0; w < kWordsPerLine; ++w) {
+    bs.store(src + w * kWordBytes, 100 + w);
+  }
+  bs.copy_line(line_of(src), line_of(src) + 10);
+  const Addr dst = src + 10 * kLineBytes;
+  for (std::uint32_t w = 0; w < kWordsPerLine; ++w) {
+    EXPECT_EQ(bs.load(dst + w * kWordBytes), 100u + w);
+  }
+  // Source unchanged.
+  EXPECT_EQ(bs.load(src), 100u);
+}
+
+TEST(BackingStoreTest, CopyLineAcrossPages) {
+  BackingStore bs;
+  bs.store(kPageBytes - kLineBytes, 5);  // last line of page 0
+  bs.copy_line(line_of(kPageBytes - kLineBytes), line_of(3 * kPageBytes));
+  EXPECT_EQ(bs.load(3 * kPageBytes), 5u);
+}
+
+}  // namespace
+}  // namespace suvtm::mem

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/barrier.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace suvtm::sim {
+namespace {
+
+struct Sleep {
+  Scheduler& sched;
+  Cycle delay;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) { sched.resume_after(delay, h); }
+  void await_resume() const noexcept {}
+};
+
+ThreadTask party(Scheduler& s, Barrier& b, Cycle arrive_delay, Cycle* waited,
+                 Cycle* released_at) {
+  co_await Sleep{s, arrive_delay};
+  *waited = co_await b.arrive();
+  *released_at = s.now();
+}
+
+TEST(BarrierTest, ReleasesAllTogether) {
+  Scheduler s;
+  Barrier b(s, 3);
+  Cycle waited[3] = {}, released[3] = {};
+  std::vector<ThreadTask> tasks;
+  bool done[3] = {};
+  std::exception_ptr errs[3];
+  for (int i = 0; i < 3; ++i) {
+    tasks.push_back(party(s, b, static_cast<Cycle>(10 * (i + 1)), &waited[i],
+                          &released[i]));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto h = tasks[i].prepare(&done[i], &errs[i]);
+    s.at(0, [h] { h.resume(); });
+  }
+  s.run(10000);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(done[i]);
+  // Last arriver (t=30) releases; waiters resume at t=31, itself at t=30.
+  EXPECT_EQ(released[0], 31u);
+  EXPECT_EQ(released[1], 31u);
+  EXPECT_EQ(released[2], 30u);
+  EXPECT_EQ(waited[0], 20u);
+  EXPECT_EQ(waited[1], 10u);
+  EXPECT_EQ(waited[2], 0u);
+}
+
+ThreadTask repeat_party(Scheduler& s, Barrier& b, int rounds, int* count) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await Sleep{s, 1};
+    co_await b.arrive();
+    ++*count;
+  }
+}
+
+TEST(BarrierTest, ReusableAcrossRounds) {
+  Scheduler s;
+  Barrier b(s, 4);
+  int counts[4] = {};
+  std::vector<ThreadTask> tasks;
+  bool done[4] = {};
+  std::exception_ptr errs[4];
+  for (int i = 0; i < 4; ++i) tasks.push_back(repeat_party(s, b, 5, &counts[i]));
+  for (int i = 0; i < 4; ++i) {
+    auto h = tasks[i].prepare(&done[i], &errs[i]);
+    s.at(0, [h] { h.resume(); });
+  }
+  s.run(100000);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(done[i]);
+    EXPECT_EQ(counts[i], 5);
+  }
+}
+
+TEST(BarrierTest, SinglePartyNeverBlocks) {
+  Scheduler s;
+  Barrier b(s, 1);
+  Cycle waited = 99, released = 0;
+  ThreadTask t = party(s, b, 5, &waited, &released);
+  bool done = false;
+  std::exception_ptr err;
+  s.at(0, [h = t.prepare(&done, &err)] { h.resume(); });
+  s.run(1000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(waited, 0u);
+  EXPECT_EQ(released, 5u);
+}
+
+}  // namespace
+}  // namespace suvtm::sim

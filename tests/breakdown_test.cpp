@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/breakdown.hpp"
+
+namespace suvtm::sim {
+namespace {
+
+TEST(BreakdownTest, StartsEmpty) {
+  Breakdown b;
+  EXPECT_EQ(b.total(), 0u);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    EXPECT_EQ(b.get(static_cast<Bucket>(i)), 0u);
+  }
+}
+
+TEST(BreakdownTest, AddAndTotal) {
+  Breakdown b;
+  b.add(Bucket::kTrans, 10);
+  b.add(Bucket::kTrans, 5);
+  b.add(Bucket::kStalled, 7);
+  EXPECT_EQ(b.get(Bucket::kTrans), 15u);
+  EXPECT_EQ(b.get(Bucket::kStalled), 7u);
+  EXPECT_EQ(b.total(), 22u);
+}
+
+TEST(BreakdownTest, Accumulate) {
+  Breakdown a, b;
+  a.add(Bucket::kNoTrans, 3);
+  b.add(Bucket::kNoTrans, 4);
+  b.add(Bucket::kBarrier, 1);
+  a += b;
+  EXPECT_EQ(a.get(Bucket::kNoTrans), 7u);
+  EXPECT_EQ(a.get(Bucket::kBarrier), 1u);
+}
+
+TEST(BreakdownTest, Reset) {
+  Breakdown b;
+  b.add(Bucket::kWasted, 9);
+  b.reset();
+  EXPECT_EQ(b.total(), 0u);
+}
+
+TEST(BreakdownTest, BucketNamesUniqueAndNamed) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::string n = bucket_name(static_cast<Bucket>(i));
+    EXPECT_NE(n, "?");
+    names.insert(n);
+  }
+  EXPECT_EQ(names.size(), kNumBuckets);
+}
+
+TEST(AttemptAccountTest, CommitCreditsTransAndStalled) {
+  AttemptAccount acc;
+  Breakdown out;
+  acc.add_trans(10);
+  acc.add_stalled(4);
+  acc.settle_commit(out);
+  EXPECT_EQ(out.get(Bucket::kTrans), 10u);
+  EXPECT_EQ(out.get(Bucket::kStalled), 4u);
+  EXPECT_EQ(out.get(Bucket::kWasted), 0u);
+}
+
+TEST(AttemptAccountTest, AbortConvertsTransToWasted) {
+  AttemptAccount acc;
+  Breakdown out;
+  acc.add_trans(10);
+  acc.add_stalled(4);
+  acc.settle_abort(out);
+  EXPECT_EQ(out.get(Bucket::kTrans), 0u);
+  EXPECT_EQ(out.get(Bucket::kWasted), 10u);
+  EXPECT_EQ(out.get(Bucket::kStalled), 4u);
+}
+
+TEST(AttemptAccountTest, SettleResetsForNextAttempt) {
+  AttemptAccount acc;
+  Breakdown out;
+  acc.add_trans(10);
+  acc.settle_abort(out);
+  acc.add_trans(3);
+  acc.settle_commit(out);
+  EXPECT_EQ(out.get(Bucket::kWasted), 10u);
+  EXPECT_EQ(out.get(Bucket::kTrans), 3u);
+}
+
+}  // namespace
+}  // namespace suvtm::sim

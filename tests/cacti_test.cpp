@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "cacti/cacti_model.hpp"
+
+namespace suvtm::cacti {
+namespace {
+
+TEST(CactiTest, FourAnchoredNodes) {
+  const auto& nodes = tech_nodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0].feature_nm, 90u);
+  EXPECT_EQ(nodes[3].feature_nm, 32u);
+}
+
+// The reference configuration must reproduce the paper's Table VII exactly.
+class Table7Anchor : public ::testing::TestWithParam<TechNode> {};
+
+TEST_P(Table7Anchor, ReproducesPaperNumbers) {
+  const TechNode& node = GetParam();
+  const auto est = estimate_fa_table(node.feature_nm, 512, 64);
+  EXPECT_NEAR(est.access_ns, node.access_ns, 1e-9);
+  EXPECT_NEAR(est.read_nj, node.read_nj, 1e-9);
+  EXPECT_NEAR(est.write_nj, node.write_nj, 1e-9);
+  EXPECT_NEAR(est.area_mm2, node.area_mm2, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, Table7Anchor,
+                         ::testing::ValuesIn(tech_nodes()),
+                         [](const auto& info) {
+                           return "nm" + std::to_string(info.param.feature_nm);
+                         });
+
+TEST(CactiTest, SmallerTablesCheaper) {
+  const auto big = estimate_fa_table(45, 512, 64);
+  const auto small = estimate_fa_table(45, 128, 64);
+  EXPECT_LT(small.access_ns, big.access_ns);
+  EXPECT_LT(small.read_nj, big.read_nj);
+  EXPECT_LT(small.area_mm2, big.area_mm2);
+}
+
+TEST(CactiTest, NarrowerEntriesCheaper) {
+  const auto wide = estimate_fa_table(45, 512, 64);
+  const auto narrow = estimate_fa_table(45, 512, 22);
+  EXPECT_LT(narrow.read_nj, wide.read_nj);
+  EXPECT_LT(narrow.area_mm2, wide.area_mm2);
+  // Paper Section V-C: 22-bit entries cost at most half the 64-bit numbers.
+  EXPECT_LT(narrow.area_mm2, 0.5 * wide.area_mm2);
+}
+
+TEST(CactiTest, AccessTimeScalesWithFeatureSize) {
+  double prev = 0.0;
+  for (const auto& node : tech_nodes()) {
+    const auto est = estimate_fa_table(node.feature_nm, 512, 64);
+    if (prev != 0.0) {
+      EXPECT_LT(est.access_ns, prev);
+    }
+    prev = est.access_ns;
+  }
+}
+
+TEST(CactiTest, SingleCycleAt45nm) {
+  // Paper Section V-C: the access completes in one 1.2 GHz cycle at 45 nm.
+  EXPECT_EQ(estimate_fa_table(45, 512, 64).cycles_at_ghz(1.2), 1u);
+  EXPECT_EQ(estimate_fa_table(32, 512, 64).cycles_at_ghz(1.2), 1u);
+  EXPECT_GE(estimate_fa_table(90, 512, 64).cycles_at_ghz(1.2), 2u);
+}
+
+TEST(CactiTest, PerCoreStorageMatchesPaper) {
+  // (2Kb + 2Kb + 22b x 512)/8 = 1.875 KB (paper Section V-C).
+  EXPECT_DOUBLE_EQ(suv_per_core_bytes(2048, 512, 22), 1920.0);
+  EXPECT_NEAR(suv_per_core_bytes(2048, 512, 22) / 1024.0, 1.875, 1e-9);
+}
+
+TEST(CactiTest, PerCoreStorageFractionOfL1) {
+  const double frac = suv_per_core_bytes(2048, 512, 22) / (32.0 * 1024.0);
+  EXPECT_NEAR(100.0 * frac, 5.86, 0.01);  // paper: 5.86% of a 32 KB L1
+}
+
+TEST(CactiTest, PowerBoundBelowPaperEstimate) {
+  // Paper bound: < 3 J/s for 16 cores at 1.2 GHz, 45 nm.
+  const double w = max_table_power_watts(45, 16, 1.2);
+  EXPECT_GT(w, 0.0);
+  EXPECT_LT(w, 3.0);
+}
+
+TEST(CactiTest, AreaBoundMatchesPaper) {
+  // 0.5 x 16 x 0.282 = 2.26 mm^2 (paper Section V-C).
+  const auto est = estimate_fa_table(45, 512, 64);
+  EXPECT_NEAR(0.5 * 16.0 * est.area_mm2, 2.26, 0.01);
+}
+
+TEST(CactiTest, ContemporaryProcessorsTable) {
+  const auto& procs = contemporary_processors();
+  ASSERT_EQ(procs.size(), 3u);
+  EXPECT_STREQ(procs[2].name, "Rock Processor");
+  EXPECT_DOUBLE_EQ(procs[2].tdp_w, 250.0);
+  EXPECT_DOUBLE_EQ(procs[2].area_mm2, 396.0);
+}
+
+}  // namespace
+}  // namespace suvtm::cacti

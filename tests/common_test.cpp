@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace suvtm {
+namespace {
+
+TEST(TypesTest, LineArithmetic) {
+  EXPECT_EQ(line_of(0), 0u);
+  EXPECT_EQ(line_of(63), 0u);
+  EXPECT_EQ(line_of(64), 1u);
+  EXPECT_EQ(addr_of_line(1), 64u);
+  EXPECT_EQ(addr_of_line(line_of(0x12345)), 0x12340ull & ~63ull);
+}
+
+TEST(TypesTest, PageArithmetic) {
+  EXPECT_EQ(page_of(0), 0u);
+  EXPECT_EQ(page_of(4095), 0u);
+  EXPECT_EQ(page_of(4096), 1u);
+}
+
+TEST(TypesTest, WordInLine) {
+  EXPECT_EQ(word_in_line(0), 0u);
+  EXPECT_EQ(word_in_line(8), 1u);
+  EXPECT_EQ(word_in_line(56), 7u);
+  EXPECT_EQ(word_in_line(64), 0u);
+  EXPECT_EQ(word_in_line(65), 0u);  // sub-word offsets round down
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values show up
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ReseedResets) {
+  Rng r(5);
+  const auto first = r.next();
+  r.next();
+  r.reseed(5);
+  EXPECT_EQ(r.next(), first);
+}
+
+TEST(AccumulatorTest, Empty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(AccumulatorTest, Basic) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  a.add(2.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(AccumulatorTest, Reset) {
+  Accumulator a;
+  a.add(5.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.sum(), 0.0);
+}
+
+TEST(HistogramTest, Bucketing) {
+  Histogram h(10.0, 5);
+  h.add(0.0);
+  h.add(9.9);
+  h.add(10.0);
+  h.add(49.0);
+  h.add(1000.0);  // overflow -> last bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, NegativeClampsToFirstBucket) {
+  Histogram h(1.0, 4);
+  h.add(-3.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(HistogramTest, Quantile) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10));
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1.0);
+}
+
+TEST(StatsTest, SafeRatio) {
+  EXPECT_EQ(safe_ratio(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(1.0, 2.0), 0.5);
+}
+
+TEST(StatsTest, Percent) {
+  EXPECT_EQ(percent(0.123), "12.3%");
+  EXPECT_EQ(percent(0.0), "0.0%");
+  EXPECT_EQ(percent(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace suvtm

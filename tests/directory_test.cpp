@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "mem/directory.hpp"
+
+namespace suvtm::mem {
+namespace {
+
+TEST(DirectoryTest, EntryCreatedOnDemand) {
+  Directory d;
+  EXPECT_EQ(d.find(7), nullptr);
+  d.entry(7).owner = 3;
+  ASSERT_NE(d.find(7), nullptr);
+  EXPECT_EQ(d.find(7)->owner, 3u);
+  EXPECT_EQ(d.tracked_lines(), 1u);
+}
+
+TEST(DirectoryTest, RemoveCoreClearsSharerBit) {
+  Directory d;
+  d.entry(1).sharers = 0b1010;
+  d.remove_core(1, 1);
+  EXPECT_EQ(d.find(1)->sharers, 0b1000u);
+}
+
+TEST(DirectoryTest, RemoveOwner) {
+  Directory d;
+  d.entry(2).owner = 5;
+  d.entry(2).sharers = 1u << 5;
+  d.remove_core(2, 5);
+  EXPECT_EQ(d.find(2), nullptr);  // empty entry erased
+}
+
+TEST(DirectoryTest, RemoveFromUntrackedLineIsNoop) {
+  Directory d;
+  d.remove_core(99, 0);
+  EXPECT_EQ(d.tracked_lines(), 0u);
+}
+
+TEST(DirectoryTest, EntryErasedOnlyWhenEmpty) {
+  Directory d;
+  d.entry(3).owner = 1;
+  d.entry(3).sharers = 0b11;
+  d.remove_core(3, 1);
+  ASSERT_NE(d.find(3), nullptr);  // core 1 removed, core 0 still shares
+  EXPECT_EQ(d.find(3)->sharers, 0b1u);
+  EXPECT_EQ(d.find(3)->owner, kNoCore);
+  d.remove_core(3, 0);
+  EXPECT_EQ(d.find(3), nullptr);
+}
+
+}  // namespace
+}  // namespace suvtm::mem

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+#include "runner/tables.hpp"
+
+namespace suvtm::runner {
+namespace {
+
+stamp::SuiteParams tiny() {
+  stamp::SuiteParams p;
+  p.scale = 0.2;
+  return p;
+}
+
+TEST(ExperimentTest, RunAppCollectsCoreStats) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kLogTmSe;
+  const auto r = run_app(stamp::AppId::kKmeans, cfg, tiny());
+  EXPECT_EQ(r.app, "kmeans");
+  EXPECT_EQ(r.scheme, sim::Scheme::kLogTmSe);
+  EXPECT_GT(r.makespan, 0u);
+  EXPECT_GT(r.breakdown.total(), 0u);
+  EXPECT_GT(r.vm.tx_stores, 0u);
+  EXPECT_FALSE(r.has_suv);
+  EXPECT_FALSE(r.has_dyntm);
+}
+
+TEST(ExperimentTest, SuvStatsCollectedForSuvScheme) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kSuv;
+  const auto r = run_app(stamp::AppId::kKmeans, cfg, tiny());
+  EXPECT_TRUE(r.has_suv);
+  EXPECT_FALSE(r.has_dyntm);
+  EXPECT_GT(r.suv.entries_created, 0u);
+}
+
+TEST(ExperimentTest, DynTmSuvCollectsBothStatBlocks) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kDynTmSuv;
+  const auto r = run_app(stamp::AppId::kKmeans, cfg, tiny());
+  EXPECT_TRUE(r.has_dyntm);
+  EXPECT_TRUE(r.has_suv);
+}
+
+TEST(ExperimentTest, GeomeanIdenticalRunsIsOne) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kFasTm;
+  std::vector<RunResult> a = {run_app(stamp::AppId::kSsca2, cfg, tiny())};
+  EXPECT_DOUBLE_EQ(geomean_speedup(a, a, false), 1.0);
+}
+
+TEST(ExperimentTest, GeomeanDetectsSpeedup) {
+  RunResult slow, fast;
+  slow.app = fast.app = "ssca2";
+  slow.makespan = 200;
+  fast.makespan = 100;
+  EXPECT_DOUBLE_EQ(geomean_speedup({slow}, {fast}, false), 2.0);
+}
+
+TEST(ExperimentTest, GeomeanHighContentionFilters) {
+  RunResult low_app_base, low_app_fast;
+  low_app_base.app = low_app_fast.app = "kmeans";  // not high contention
+  low_app_base.makespan = 300;
+  low_app_fast.makespan = 100;
+  // No high-contention apps present: neutral 1.0.
+  EXPECT_DOUBLE_EQ(geomean_speedup({low_app_base}, {low_app_fast}, true), 1.0);
+}
+
+TEST(TablesTest, RenderAlignsColumns) {
+  const auto s = render_table({{"a", "bb"}, {"ccc", "d"}});
+  EXPECT_NE(s.find("a    bb"), std::string::npos);
+  EXPECT_NE(s.find("ccc  d"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);  // header underline
+}
+
+TEST(TablesTest, Formatters) {
+  EXPECT_EQ(fmt_u64(12345), "12345");
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+}
+
+TEST(TablesTest, CsvRendersAndQuotes) {
+  const auto csv = render_csv({{"a", "b,c"}, {}, {"d\"e", "f"}});
+  EXPECT_EQ(csv, "a,\"b,c\"\n\"d\"\"e\",f\n");
+}
+
+TEST(TablesTest, CsvWriteRoundtrip) {
+  const std::string path = ::testing::TempDir() + "/suvtm_tables_test.csv";
+  ASSERT_TRUE(write_csv(path, {{"x", "y"}, {"1", "2"}}));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  EXPECT_STREQ(buf, "x,y\n1,2\n");
+}
+
+TEST(TablesTest, BreakdownRowNormalizes) {
+  sim::Breakdown b;
+  b.add(sim::Bucket::kTrans, 50);
+  b.add(sim::Bucket::kStalled, 50);
+  const auto row = breakdown_row("x", b, 100.0);
+  EXPECT_EQ(row.front(), "x");
+  EXPECT_EQ(row.back(), "1.000");  // total share
+  EXPECT_EQ(row.size(), breakdown_header().size());
+}
+
+}  // namespace
+}  // namespace suvtm::runner

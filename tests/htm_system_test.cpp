@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "htm/htm_system.hpp"
+#include "sim/simulator.hpp"
+#include "stamp/framework.hpp"
+
+namespace suvtm::htm {
+namespace {
+
+class HtmSystemTest : public ::testing::Test {
+ protected:
+  HtmSystemTest() {
+    cfg_.scheme = sim::Scheme::kLogTmSe;
+    mem_ = std::make_unique<mem::MemorySystem>(cfg_.mem);
+    htm_ = std::make_unique<HtmSystem>(cfg_, *mem_,
+                                       sim::make_version_manager(cfg_, *mem_));
+  }
+
+  Txn& run_txn(CoreId c) {
+    Txn& t = htm_->txn(c);
+    t.state = TxnState::kRunning;
+    return t;
+  }
+
+  sim::SimConfig cfg_;
+  std::unique_ptr<mem::MemorySystem> mem_;
+  std::unique_ptr<HtmSystem> htm_;
+};
+
+TEST_F(HtmSystemTest, DoomMarksRunningTxn) {
+  Txn& t = run_txn(3);
+  htm_->doom(3);
+  EXPECT_TRUE(t.doomed);
+}
+
+TEST_F(HtmSystemTest, DoomIgnoresIdleAndCommitting) {
+  htm_->doom(0);
+  EXPECT_FALSE(htm_->txn(0).doomed);
+  Txn& t = run_txn(1);
+  t.state = TxnState::kCommitting;
+  htm_->doom(1);
+  EXPECT_FALSE(t.doomed);
+}
+
+TEST_F(HtmSystemTest, CommitTokenIsExclusive) {
+  EXPECT_TRUE(htm_->commit_token_free());
+  EXPECT_TRUE(htm_->acquire_commit_token(2));
+  EXPECT_FALSE(htm_->acquire_commit_token(3));
+  EXPECT_TRUE(htm_->acquire_commit_token(2));  // reentrant for the holder
+  htm_->release_commit_token(2);
+  EXPECT_TRUE(htm_->acquire_commit_token(3));
+  htm_->release_commit_token(3);
+}
+
+TEST_F(HtmSystemTest, SuspendRequiresRunningTxn) {
+  EXPECT_FALSE(htm_->suspend_txn(0));
+  run_txn(0);
+  EXPECT_TRUE(htm_->suspend_txn(0));
+  EXPECT_EQ(htm_->suspended_count(), 1u);
+  // The core's descriptor is clean for the next scheduled thread.
+  EXPECT_FALSE(htm_->txn(0).active());
+}
+
+TEST_F(HtmSystemTest, SuspendedSetsStillConflict) {
+  Txn& t = run_txn(0);
+  t.write_sig.add(100);
+  t.write_lines.insert(100);
+  ASSERT_TRUE(htm_->suspend_txn(0));
+  // Another core's access to line 100 must stall on the summary.
+  auto d = htm_->conflicts().check(1, 100, false, false, htm_->txn_view());
+  EXPECT_EQ(d.action, ConflictManager::Action::kStall);
+  EXPECT_GE(htm_->conflicts().stats().suspended_stalls, 1u);
+}
+
+TEST_F(HtmSystemTest, SuspendedReadsBlockWriters) {
+  Txn& t = run_txn(0);
+  t.read_sig.add(200);
+  t.read_lines.insert(200);
+  ASSERT_TRUE(htm_->suspend_txn(0));
+  EXPECT_EQ(htm_->conflicts().check(1, 200, true, false, htm_->txn_view()).action,
+            ConflictManager::Action::kStall);
+  // Reads of a read-only suspended line are fine.
+  EXPECT_EQ(htm_->conflicts().check(1, 200, false, false, htm_->txn_view()).action,
+            ConflictManager::Action::kProceed);
+}
+
+TEST_F(HtmSystemTest, ResumeRestoresTheTransaction) {
+  Txn& t = run_txn(0);
+  t.write_sig.add(100);
+  t.write_lines.insert(100);
+  t.site = 42;
+  ASSERT_TRUE(htm_->suspend_txn(0));
+  ASSERT_TRUE(htm_->resume_txn(0));
+  EXPECT_EQ(htm_->suspended_count(), 0u);
+  EXPECT_EQ(htm_->txn(0).state, TxnState::kRunning);
+  EXPECT_EQ(htm_->txn(0).site, 42u);
+  EXPECT_TRUE(htm_->txn(0).write_sig.test(100));
+  // The summary no longer NACKs once the transaction is live again
+  // (conflicts now come from the live signature instead).
+  auto d = htm_->conflicts().check(1, 100, true, false, htm_->txn_view());
+  EXPECT_EQ(d.action, ConflictManager::Action::kStall);
+  EXPECT_EQ(d.holder, 0u);
+}
+
+TEST_F(HtmSystemTest, ResumeFailsWithoutSuspension) {
+  EXPECT_FALSE(htm_->resume_txn(0));
+  run_txn(0);
+  EXPECT_FALSE(htm_->resume_txn(0));  // core busy
+}
+
+TEST_F(HtmSystemTest, MultipleSuspendedTxnsMergeInSummary) {
+  Txn& a = run_txn(0);
+  a.write_lines.insert(100);
+  a.write_sig.add(100);
+  ASSERT_TRUE(htm_->suspend_txn(0));
+  Txn& b = run_txn(1);
+  b.write_lines.insert(200);
+  b.write_sig.add(200);
+  ASSERT_TRUE(htm_->suspend_txn(1));
+  EXPECT_EQ(htm_->conflicts().check(2, 100, true, false, htm_->txn_view()).action,
+            ConflictManager::Action::kStall);
+  EXPECT_EQ(htm_->conflicts().check(2, 200, true, false, htm_->txn_view()).action,
+            ConflictManager::Action::kStall);
+  // Resuming one rebuilds the summary: the other still blocks.
+  ASSERT_TRUE(htm_->resume_txn(0));
+  htm_->txn(0).reset_committed();  // it finishes
+  EXPECT_EQ(htm_->conflicts().check(2, 100, true, false, htm_->txn_view()).action,
+            ConflictManager::Action::kProceed);
+  EXPECT_EQ(htm_->conflicts().check(2, 200, true, false, htm_->txn_view()).action,
+            ConflictManager::Action::kStall);
+}
+
+// --- Requester-wins policy ---------------------------------------------------
+
+class RequesterWinsTest : public ::testing::Test {
+ protected:
+  RequesterWinsTest() {
+    cfg_.scheme = sim::Scheme::kSuv;
+    cfg_.htm.conflict_policy = sim::ConflictPolicy::kRequesterWins;
+    mem_ = std::make_unique<mem::MemorySystem>(cfg_.mem);
+    htm_ = std::make_unique<HtmSystem>(cfg_, *mem_,
+                                       sim::make_version_manager(cfg_, *mem_));
+  }
+
+  sim::SimConfig cfg_;
+  std::unique_ptr<mem::MemorySystem> mem_;
+  std::unique_ptr<HtmSystem> htm_;
+};
+
+TEST_F(RequesterWinsTest, OlderRequesterDoomsHolder) {
+  Txn& holder = htm_->txn(1);
+  holder.state = TxnState::kRunning;
+  holder.timestamp = 200;  // younger
+  holder.write_sig.add(100);
+  holder.write_lines.insert(100);
+  Txn& req = htm_->txn(0);
+  req.state = TxnState::kRunning;
+  req.timestamp = 100;  // older: wins
+  auto d = htm_->conflicts().check(0, 100, true, false, htm_->txn_view());
+  EXPECT_EQ(d.victim, 1u);
+  EXPECT_EQ(d.action, ConflictManager::Action::kStall);
+  EXPECT_GE(htm_->conflicts().stats().requester_wins, 1u);
+}
+
+TEST_F(RequesterWinsTest, YoungerRequesterFallsBackToStall) {
+  // Timestamp priority prevents mutual-doom livelock: a younger requester
+  // cannot kill the holder and just stalls.
+  Txn& holder = htm_->txn(1);
+  holder.state = TxnState::kRunning;
+  holder.timestamp = 100;  // older
+  holder.write_sig.add(100);
+  holder.write_lines.insert(100);
+  Txn& req = htm_->txn(0);
+  req.state = TxnState::kRunning;
+  req.timestamp = 200;
+  auto d = htm_->conflicts().check(0, 100, true, false, htm_->txn_view());
+  EXPECT_NE(d.victim, 1u);
+  EXPECT_EQ(d.action, ConflictManager::Action::kStall);
+}
+
+TEST_F(RequesterWinsTest, CommittingHolderIsSpared) {
+  Txn& holder = htm_->txn(1);
+  holder.state = TxnState::kCommitting;
+  holder.timestamp = 500;
+  holder.write_sig.add(100);
+  holder.write_lines.insert(100);
+  Txn& req = htm_->txn(0);
+  req.state = TxnState::kRunning;
+  req.timestamp = 99;
+  auto d = htm_->conflicts().check(0, 100, true, false, htm_->txn_view());
+  EXPECT_NE(d.victim, 1u);  // fell through to the stall policy
+  EXPECT_EQ(d.action, ConflictManager::Action::kStall);
+}
+
+// End-to-end: the whole suite of semantics must hold under requester-wins.
+sim::ThreadTask rw_incrementer(sim::ThreadContext& tc, Addr counter,
+                               sim::Barrier& bar, int iters) {
+  co_await tc.barrier(bar);
+  for (int i = 0; i < iters; ++i) {
+    co_await stamp::atomically(tc, 1,
+                               [&](sim::ThreadContext& t) -> sim::Task<void> {
+      const std::uint64_t v = co_await t.load(counter);
+      co_await t.compute(5);
+      co_await t.store(counter, v + 1);
+    });
+  }
+  co_await tc.barrier(bar);
+}
+
+TEST(RequesterWinsIntegration, HotCounterStaysAtomic) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kSuv;
+  cfg.htm.conflict_policy = sim::ConflictPolicy::kRequesterWins;
+  sim::Simulator sim(cfg);
+  const Addr counter = 0x10000;
+  auto& bar = sim.make_barrier(sim.num_cores());
+  for (CoreId c = 0; c < sim.num_cores(); ++c) {
+    sim.spawn(c, rw_incrementer(sim.context(c), counter, bar, 30));
+  }
+  sim.run();
+  EXPECT_EQ(sim.read_word_resolved(counter), 30u * sim.num_cores());
+  EXPECT_GT(sim.htm().conflicts().stats().requester_wins, 0u);
+}
+
+}  // namespace
+}  // namespace suvtm::htm

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "suv/redirect_entry.hpp"
+
+namespace suvtm::suv {
+namespace {
+
+TEST(RedirectEntryTest, BitEncoding) {
+  EXPECT_FALSE(global_bit(EntryState::kInvalid));
+  EXPECT_FALSE(valid_bit(EntryState::kInvalid));
+  EXPECT_FALSE(global_bit(EntryState::kTxnRedirect));
+  EXPECT_TRUE(valid_bit(EntryState::kTxnRedirect));
+  EXPECT_TRUE(global_bit(EntryState::kTxnUnredirect));
+  EXPECT_FALSE(valid_bit(EntryState::kTxnUnredirect));
+  EXPECT_TRUE(global_bit(EntryState::kGlobalRedirect));
+  EXPECT_TRUE(valid_bit(EntryState::kGlobalRedirect));
+}
+
+TEST(RedirectEntryTest, StateFromBitsRoundtrip) {
+  for (EntryState s : {EntryState::kInvalid, EntryState::kTxnRedirect,
+                       EntryState::kTxnUnredirect, EntryState::kGlobalRedirect}) {
+    EXPECT_EQ(state_from_bits(global_bit(s), valid_bit(s)), s);
+  }
+}
+
+// Paper Section IV-B commit rule: g 0->1 if v==1; g 1->0 if v==0.
+TEST(RedirectEntryTest, CommitFlipTruthTable) {
+  EXPECT_EQ(commit_flip(EntryState::kTxnRedirect), EntryState::kGlobalRedirect);
+  EXPECT_EQ(commit_flip(EntryState::kTxnUnredirect), EntryState::kInvalid);
+  // Stable states are unaffected by the flash (their bits already agree).
+  EXPECT_EQ(commit_flip(EntryState::kGlobalRedirect),
+            EntryState::kGlobalRedirect);
+  EXPECT_EQ(commit_flip(EntryState::kInvalid), EntryState::kInvalid);
+}
+
+// Paper Section IV-B abort rule: v 0->1 if g==1; v 1->0 if g==0.
+TEST(RedirectEntryTest, AbortFlipTruthTable) {
+  EXPECT_EQ(abort_flip(EntryState::kTxnRedirect), EntryState::kInvalid);
+  EXPECT_EQ(abort_flip(EntryState::kTxnUnredirect),
+            EntryState::kGlobalRedirect);
+  EXPECT_EQ(abort_flip(EntryState::kGlobalRedirect),
+            EntryState::kGlobalRedirect);
+  EXPECT_EQ(abort_flip(EntryState::kInvalid), EntryState::kInvalid);
+}
+
+TEST(RedirectEntryTest, FlipsAreIdempotentOnStableStates) {
+  for (EntryState s : {EntryState::kInvalid, EntryState::kGlobalRedirect}) {
+    EXPECT_EQ(commit_flip(commit_flip(s)), commit_flip(s));
+    EXPECT_EQ(abort_flip(abort_flip(s)), abort_flip(s));
+  }
+}
+
+TEST(RedirectEntryTest, TransientDetection) {
+  RedirectEntry e{1, 2, EntryState::kTxnRedirect, 0};
+  EXPECT_TRUE(e.transient());
+  e.state = EntryState::kTxnUnredirect;
+  EXPECT_TRUE(e.transient());
+  e.state = EntryState::kGlobalRedirect;
+  EXPECT_FALSE(e.transient());
+  e.state = EntryState::kInvalid;
+  EXPECT_FALSE(e.transient());
+}
+
+// Table II semantics: who sees the target vs the original.
+TEST(RedirectEntryTest, ResolveGlobalRedirect) {
+  RedirectEntry e{100, 200, EntryState::kGlobalRedirect, kNoCore};
+  EXPECT_EQ(e.resolve_for(0), 200u);
+  EXPECT_EQ(e.resolve_for(7), 200u);
+  EXPECT_EQ(e.resolve_for(kNoCore), 200u);
+}
+
+TEST(RedirectEntryTest, ResolveTxnRedirect) {
+  RedirectEntry e{100, 200, EntryState::kTxnRedirect, 3};
+  EXPECT_EQ(e.resolve_for(3), 200u);  // owner sees the new location
+  EXPECT_EQ(e.resolve_for(4), 100u);  // everyone else the old one
+}
+
+TEST(RedirectEntryTest, ResolveTxnUnredirect) {
+  RedirectEntry e{100, 200, EntryState::kTxnUnredirect, 3};
+  EXPECT_EQ(e.resolve_for(3), 100u);  // owner redirected back to original
+  EXPECT_EQ(e.resolve_for(4), 200u);  // others still see the global target
+}
+
+TEST(RedirectEntryTest, ResolveInvalid) {
+  RedirectEntry e{100, 200, EntryState::kInvalid, kNoCore};
+  EXPECT_EQ(e.resolve_for(0), 100u);
+}
+
+TEST(PackedEntryTest, TotalsTwentyTwoBits) {
+  EXPECT_EQ(PackedEntry::kTotalBits, 22u);
+}
+
+class PackedEntryRoundtrip
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int,
+                                                 std::uint32_t, std::uint32_t>> {};
+
+TEST_P(PackedEntryRoundtrip, PackUnpack) {
+  const auto [l1, st, tlb, off] = GetParam();
+  const auto state = static_cast<EntryState>(st);
+  const PackedEntry p = PackedEntry::pack(l1, state, tlb, off);
+  EXPECT_EQ(p.l1_index(), l1);
+  EXPECT_EQ(p.state(), state);
+  EXPECT_EQ(p.tlb_index(), tlb);
+  EXPECT_EQ(p.page_offset(), off);
+  EXPECT_LT(p.bits, 1u << 22);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldSweep, PackedEntryRoundtrip,
+    ::testing::Combine(::testing::Values(0u, 1u, 63u, 127u),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0u, 31u, 63u),
+                       ::testing::Values(0u, 64u, 127u)));
+
+TEST(RedirectEntryTest, StateNamesDistinct) {
+  EXPECT_STRNE(entry_state_name(EntryState::kInvalid),
+               entry_state_name(EntryState::kGlobalRedirect));
+  EXPECT_STRNE(entry_state_name(EntryState::kTxnRedirect),
+               entry_state_name(EntryState::kTxnUnredirect));
+}
+
+}  // namespace
+}  // namespace suvtm::suv

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace suvtm::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(30, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(1); });
+  s.at(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(s.run(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.at(7, [&order, i] { order.push_back(i); });
+  }
+  s.run(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, AfterIsRelative) {
+  Scheduler s;
+  Cycle seen = 0;
+  s.at(40, [&] { s.after(5, [&] { seen = s.now(); }); });
+  s.run(100);
+  EXPECT_EQ(seen, 45u);
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) s.after(1, chain);
+  };
+  s.at(0, chain);
+  s.run(100);
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.now(), 9u);
+}
+
+TEST(SchedulerTest, RunStopsAtLimit) {
+  Scheduler s;
+  bool ran = false;
+  s.at(1000, [&] { ran = true; });
+  EXPECT_FALSE(s.run(500));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 1u);
+  // A later run with a higher limit drains it.
+  EXPECT_TRUE(s.run(2000));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, CountsEvents) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.at(i, [] {});
+  s.run(100);
+  EXPECT_EQ(s.events_processed(), 7u);
+}
+
+TEST(SchedulerTest, ZeroDelayAfterRunsAtSameCycle) {
+  Scheduler s;
+  Cycle when = 999;
+  s.at(5, [&] { s.after(0, [&] { when = s.now(); }); });
+  s.run(100);
+  EXPECT_EQ(when, 5u);
+}
+
+}  // namespace
+}  // namespace suvtm::sim

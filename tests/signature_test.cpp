@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "htm/signature.hpp"
+
+namespace suvtm::htm {
+namespace {
+
+TEST(SignatureTest, EmptyTestsNegative) {
+  Signature s(2048, 2);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.test(0));
+  EXPECT_FALSE(s.test(12345));
+}
+
+TEST(SignatureTest, AddedLineAlwaysTestsPositive) {
+  Signature s(2048, 2);
+  s.add(42);
+  EXPECT_TRUE(s.test(42));
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(SignatureTest, ClearEmpties) {
+  Signature s(2048, 2);
+  s.add(1);
+  s.add(2);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.test(1));
+  EXPECT_EQ(s.popcount(), 0u);
+}
+
+TEST(SignatureTest, AddsCounted) {
+  Signature s(2048, 2);
+  s.add(1);
+  s.add(1);
+  s.add(2);
+  EXPECT_EQ(s.adds(), 3u);
+}
+
+TEST(SignatureTest, PopcountBoundedByHashesTimesAdds) {
+  Signature s(2048, 2);
+  for (LineAddr l = 0; l < 10; ++l) s.add(l);
+  EXPECT_LE(s.popcount(), 20u);
+  EXPECT_GE(s.popcount(), 2u);
+}
+
+TEST(SignatureTest, IntersectsDetectsSharedBits) {
+  Signature a(2048, 2), b(2048, 2);
+  a.add(7);
+  b.add(7);
+  EXPECT_TRUE(a.intersects(b));
+  Signature c(2048, 2);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(SignatureTest, HashStaysInRange) {
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (LineAddr l = 0; l < 1000; ++l) {
+      EXPECT_LT(Signature::hash(l, i, 2048), 2048u);
+    }
+  }
+}
+
+TEST(SignatureTest, HashFunctionsAreDistinct) {
+  int same = 0;
+  for (LineAddr l = 0; l < 256; ++l) {
+    if (Signature::hash(l, 0, 2048) == Signature::hash(l, 1, 2048)) ++same;
+  }
+  EXPECT_LT(same, 8);  // only chance collisions
+}
+
+// Property sweep: NO FALSE NEGATIVES for any (bits, hashes) configuration.
+class SignatureProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(SignatureProperty, NoFalseNegatives) {
+  const auto [bits, hashes] = GetParam();
+  Signature s(bits, hashes);
+  Rng rng(bits * 31 + hashes);
+  std::vector<LineAddr> members;
+  for (int i = 0; i < 200; ++i) {
+    const LineAddr l = rng.next() >> 6;
+    s.add(l);
+    members.push_back(l);
+  }
+  for (LineAddr l : members) EXPECT_TRUE(s.test(l));
+}
+
+TEST_P(SignatureProperty, FalsePositiveRateBounded) {
+  const auto [bits, hashes] = GetParam();
+  Signature s(bits, hashes);
+  Rng rng(bits * 37 + hashes);
+  for (int i = 0; i < 64; ++i) s.add(rng.next() >> 6);
+  int fp = 0;
+  const int probes = 4000;
+  for (int i = 0; i < probes; ++i) fp += s.test(rng.next() >> 6);
+  // Theoretical FP rate for k hashes, m bits, n=64: (1-e^{-kn/m})^k.
+  const double k = hashes, n = 64, mbits = bits;
+  const double expect = std::pow(1.0 - std::exp(-k * n / mbits), k);
+  EXPECT_LT(static_cast<double>(fp) / probes, expect * 2.0 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SignatureProperty,
+    ::testing::Combine(::testing::Values(512u, 1024u, 2048u, 8192u),
+                       ::testing::Values(1u, 2u, 4u)));
+
+// Larger filters must not have a *higher* false-positive rate.
+TEST(SignatureTest, BiggerFilterFewerFalsePositives) {
+  Rng rng(99);
+  std::vector<LineAddr> members;
+  for (int i = 0; i < 256; ++i) members.push_back(rng.next() >> 6);
+  auto fp_rate = [&](std::uint32_t bits) {
+    Signature s(bits, 2);
+    for (LineAddr l : members) s.add(l);
+    Rng probe_rng(100);
+    int fp = 0;
+    for (int i = 0; i < 5000; ++i) fp += s.test(probe_rng.next() >> 6);
+    return fp;
+  };
+  EXPECT_GE(fp_rate(512), fp_rate(8192));
+}
+
+}  // namespace
+}  // namespace suvtm::htm

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace suvtm::sim {
+namespace {
+
+// A minimal awaitable that suspends onto the scheduler.
+struct Sleep {
+  Scheduler& sched;
+  Cycle delay;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) { sched.resume_after(delay, h); }
+  void await_resume() const noexcept {}
+};
+
+Task<int> answer() { co_return 42; }
+
+Task<int> add(Scheduler& s, int a, int b) {
+  co_await Sleep{s, 3};
+  co_return a + b;
+}
+
+Task<int> nested(Scheduler& s) {
+  const int x = co_await add(s, 1, 2);
+  const int y = co_await add(s, x, 10);
+  co_return y;
+}
+
+Task<void> thrower() {
+  throw std::runtime_error("boom");
+  co_return;  // unreachable; makes this a coroutine
+}
+
+Task<int> catches(Scheduler& s) {
+  bool caught = false;
+  try {
+    co_await thrower();
+  } catch (const std::runtime_error&) {
+    caught = true;  // co_await is illegal inside a handler
+  }
+  if (caught) co_return co_await add(s, 5, 6);
+  co_return -1;
+}
+
+ThreadTask toplevel(Scheduler& s, int* out) {
+  *out = co_await nested(s);
+}
+
+ThreadTask toplevel_throws() {
+  co_await thrower();
+}
+
+TEST(TaskTest, ImmediateValue) {
+  Scheduler s;
+  int result = 0;
+  bool done = false;
+  std::exception_ptr err;
+  auto run = [&]() -> ThreadTask { result = co_await answer(); co_return; };
+  ThreadTask t = run();
+  auto h = t.prepare(&done, &err);
+  s.at(0, [h] { h.resume(); });
+  s.run(1000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result, 42);
+}
+
+TEST(TaskTest, SuspendingTaskResumesWithValue) {
+  Scheduler s;
+  int out = 0;
+  bool done = false;
+  std::exception_ptr err;
+  ThreadTask t = toplevel(s, &out);
+  s.at(0, [h = t.prepare(&done, &err)] { h.resume(); });
+  s.run(1000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(out, 13);       // (1+2)+10
+  EXPECT_EQ(s.now(), 6u);   // two 3-cycle sleeps
+  EXPECT_FALSE(err);
+}
+
+TEST(TaskTest, ExceptionPropagatesThroughNestedTasks) {
+  Scheduler s;
+  int result = 0;
+  bool done = false;
+  std::exception_ptr err;
+  auto run = [&]() -> ThreadTask { result = co_await catches(s); co_return; };
+  ThreadTask t = run();
+  s.at(0, [h = t.prepare(&done, &err)] { h.resume(); });
+  s.run(1000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result, 11);
+  EXPECT_FALSE(err);
+}
+
+TEST(TaskTest, UncaughtExceptionReachesErrorSink) {
+  Scheduler s;
+  bool done = false;
+  std::exception_ptr err;
+  ThreadTask t = toplevel_throws();
+  s.at(0, [h = t.prepare(&done, &err)] { h.resume(); });
+  s.run(1000);
+  EXPECT_TRUE(done);
+  ASSERT_TRUE(err);
+  EXPECT_THROW(std::rethrow_exception(err), std::runtime_error);
+}
+
+TEST(TaskTest, VoidTaskCompletes) {
+  Scheduler s;
+  bool body_ran = false;
+  bool done = false;
+  std::exception_ptr err;
+  auto inner = [&]() -> Task<void> {
+    body_ran = true;
+    co_return;
+  };
+  auto run = [&]() -> ThreadTask { co_await inner(); };
+  ThreadTask t = run();
+  s.at(0, [h = t.prepare(&done, &err)] { h.resume(); });
+  s.run(1000);
+  EXPECT_TRUE(body_ran);
+  EXPECT_TRUE(done);
+}
+
+TEST(TaskTest, ManySequentialAwaits) {
+  Scheduler s;
+  int total = 0;
+  bool done = false;
+  std::exception_ptr err;
+  auto run = [&]() -> ThreadTask {
+    for (int i = 0; i < 100; ++i) total += co_await add(s, i, 0);
+  };
+  ThreadTask t = run();
+  s.at(0, [h = t.prepare(&done, &err)] { h.resume(); });
+  s.run(10000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(total, 4950);
+  EXPECT_EQ(s.now(), 300u);
+}
+
+}  // namespace
+}  // namespace suvtm::sim

@@ -1,0 +1,105 @@
+// Property sweeps: workload invariants must hold for every scheme across a
+// spread of seeds (different interleavings, conflict patterns and abort
+// mixes) -- the randomized counterpart of the fixed stamp_test matrix.
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+
+namespace suvtm {
+namespace {
+
+using Combo = std::tuple<sim::Scheme, std::uint64_t>;
+
+class SeedSweep : public ::testing::TestWithParam<Combo> {
+ protected:
+  runner::RunResult run(stamp::AppId app) {
+    const auto [scheme, seed] = GetParam();
+    sim::SimConfig cfg;
+    cfg.scheme = scheme;
+    stamp::SuiteParams p;
+    p.scale = 0.2;
+    p.seed = seed;
+    return runner::run_app(app, cfg, p);  // verify() throws on violation
+  }
+};
+
+// The three structurally riskiest apps: pointer-chasing structures
+// (genome), a hot queue + map (intruder) and huge write sets (labyrinth).
+TEST_P(SeedSweep, GenomeInvariantsHold) {
+  const auto r = run(stamp::AppId::kGenome);
+  EXPECT_GT(r.htm.commits, 0u);
+}
+
+TEST_P(SeedSweep, IntruderInvariantsHold) {
+  const auto r = run(stamp::AppId::kIntruder);
+  EXPECT_GT(r.htm.commits, 0u);
+}
+
+TEST_P(SeedSweep, LabyrinthInvariantsHold) {
+  const auto r = run(stamp::AppId::kLabyrinth);
+  EXPECT_GT(r.htm.commits, 0u);
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const auto [scheme, seed] = info.param;
+  std::string n = sim::scheme_name(scheme);
+  for (char& c : n) {
+    if (c == '-' || c == '+') c = '_';
+  }
+  return n + "_seed" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SeedSweep,
+    ::testing::Combine(::testing::Values(sim::Scheme::kLogTmSe,
+                                         sim::Scheme::kFasTm,
+                                         sim::Scheme::kSuv,
+                                         sim::Scheme::kDynTm,
+                                         sim::Scheme::kDynTmSuv),
+                       ::testing::Values(1ull, 13ull, 42ull, 777ull)),
+    combo_name);
+
+// SUV-specific conservation property, swept across seeds: every pool line
+// handed out is either live behind an entry or back on the free list, and
+// no transient entries survive a completed run.
+class SuvConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SuvConservation, PoolAndTableBalance) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kSuv;
+  stamp::SuiteParams p;
+  p.scale = 0.2;
+  p.seed = GetParam();
+  const auto r = runner::run_app(stamp::AppId::kYada, cfg, p);
+  ASSERT_TRUE(r.has_suv);
+  // Every transient entry resolves exactly one way: published or discarded
+  // (fresh redirects), deleted or reverted (toggles).
+  EXPECT_EQ(r.suv.entries_created + r.suv.entries_toggled,
+            r.suv.entries_published + r.suv.entries_deleted +
+                r.suv.entries_discarded + r.suv.entries_reverted);
+  // Live entries == lines still held by the pools (one target per entry).
+  EXPECT_EQ(r.redirect_entries_live, r.pool_lines_in_use);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuvConservation,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+// Abort accounting property: begins == commits + aborts under churn.
+class AbortAccounting : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AbortAccounting, AttemptsBalance) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kLogTmSe;
+  stamp::SuiteParams p;
+  p.scale = 0.2;
+  p.seed = GetParam();
+  const auto r = runner::run_app(stamp::AppId::kBayes, cfg, p);
+  EXPECT_EQ(r.htm.begins, r.htm.commits + r.htm.aborts);
+  EXPECT_GT(r.htm.aborts, 0u);  // bayes must actually contend
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbortAccounting,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace suvtm
