@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_costs.dir/bench_ablation_costs.cpp.o"
+  "CMakeFiles/bench_ablation_costs.dir/bench_ablation_costs.cpp.o.d"
+  "bench_ablation_costs"
+  "bench_ablation_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_config_tables.dir/bench_config_tables.cpp.o"
+  "CMakeFiles/bench_config_tables.dir/bench_config_tables.cpp.o.d"
+  "bench_config_tables"
+  "bench_config_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_config_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

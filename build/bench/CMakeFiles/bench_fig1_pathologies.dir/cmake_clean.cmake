@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pathologies.dir/bench_fig1_pathologies.cpp.o"
+  "CMakeFiles/bench_fig1_pathologies.dir/bench_fig1_pathologies.cpp.o.d"
+  "bench_fig1_pathologies"
+  "bench_fig1_pathologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pathologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_l2_table.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dyntm.dir/bench_fig9_dyntm.cpp.o"
+  "CMakeFiles/bench_fig9_dyntm.dir/bench_fig9_dyntm.cpp.o.d"
+  "bench_fig9_dyntm"
+  "bench_fig9_dyntm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dyntm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

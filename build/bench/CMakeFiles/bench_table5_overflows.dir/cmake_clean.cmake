@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_overflows.dir/bench_table5_overflows.cpp.o"
+  "CMakeFiles/bench_table5_overflows.dir/bench_table5_overflows.cpp.o.d"
+  "bench_table5_overflows"
+  "bench_table5_overflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_overflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_contention.dir/counter_contention.cpp.o"
+  "CMakeFiles/counter_contention.dir/counter_contention.cpp.o.d"
+  "counter_contention"
+  "counter_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redirect_inspector.dir/redirect_inspector.cpp.o"
+  "CMakeFiles/redirect_inspector.dir/redirect_inspector.cpp.o.d"
+  "redirect_inspector"
+  "redirect_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redirect_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

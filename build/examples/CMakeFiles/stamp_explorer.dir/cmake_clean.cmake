@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_explorer.dir/stamp_explorer.cpp.o"
+  "CMakeFiles/stamp_explorer.dir/stamp_explorer.cpp.o.d"
+  "stamp_explorer"
+  "stamp_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

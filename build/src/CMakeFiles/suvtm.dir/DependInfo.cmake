@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cacti/cacti_model.cpp" "src/CMakeFiles/suvtm.dir/cacti/cacti_model.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/cacti/cacti_model.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/suvtm.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/suvtm.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/suvtm.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/common/stats.cpp.o.d"
+  "/root/repo/src/htm/conflict_manager.cpp" "src/CMakeFiles/suvtm.dir/htm/conflict_manager.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/htm/conflict_manager.cpp.o.d"
+  "/root/repo/src/htm/htm_system.cpp" "src/CMakeFiles/suvtm.dir/htm/htm_system.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/htm/htm_system.cpp.o.d"
+  "/root/repo/src/htm/signature.cpp" "src/CMakeFiles/suvtm.dir/htm/signature.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/htm/signature.cpp.o.d"
+  "/root/repo/src/htm/txn.cpp" "src/CMakeFiles/suvtm.dir/htm/txn.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/htm/txn.cpp.o.d"
+  "/root/repo/src/mem/backing_store.cpp" "src/CMakeFiles/suvtm.dir/mem/backing_store.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/mem/backing_store.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/suvtm.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/directory.cpp" "src/CMakeFiles/suvtm.dir/mem/directory.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/mem/directory.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/CMakeFiles/suvtm.dir/mem/memory_system.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/mem/memory_system.cpp.o.d"
+  "/root/repo/src/mem/mesh.cpp" "src/CMakeFiles/suvtm.dir/mem/mesh.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/mem/mesh.cpp.o.d"
+  "/root/repo/src/mem/tlb.cpp" "src/CMakeFiles/suvtm.dir/mem/tlb.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/mem/tlb.cpp.o.d"
+  "/root/repo/src/runner/experiment.cpp" "src/CMakeFiles/suvtm.dir/runner/experiment.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/runner/experiment.cpp.o.d"
+  "/root/repo/src/runner/tables.cpp" "src/CMakeFiles/suvtm.dir/runner/tables.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/runner/tables.cpp.o.d"
+  "/root/repo/src/sim/barrier.cpp" "src/CMakeFiles/suvtm.dir/sim/barrier.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/sim/barrier.cpp.o.d"
+  "/root/repo/src/sim/breakdown.cpp" "src/CMakeFiles/suvtm.dir/sim/breakdown.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/sim/breakdown.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/suvtm.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/suvtm.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/thread_context.cpp" "src/CMakeFiles/suvtm.dir/sim/thread_context.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/sim/thread_context.cpp.o.d"
+  "/root/repo/src/stamp/app_bayes.cpp" "src/CMakeFiles/suvtm.dir/stamp/app_bayes.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/app_bayes.cpp.o.d"
+  "/root/repo/src/stamp/app_genome.cpp" "src/CMakeFiles/suvtm.dir/stamp/app_genome.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/app_genome.cpp.o.d"
+  "/root/repo/src/stamp/app_intruder.cpp" "src/CMakeFiles/suvtm.dir/stamp/app_intruder.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/app_intruder.cpp.o.d"
+  "/root/repo/src/stamp/app_kmeans.cpp" "src/CMakeFiles/suvtm.dir/stamp/app_kmeans.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/app_kmeans.cpp.o.d"
+  "/root/repo/src/stamp/app_labyrinth.cpp" "src/CMakeFiles/suvtm.dir/stamp/app_labyrinth.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/app_labyrinth.cpp.o.d"
+  "/root/repo/src/stamp/app_ssca2.cpp" "src/CMakeFiles/suvtm.dir/stamp/app_ssca2.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/app_ssca2.cpp.o.d"
+  "/root/repo/src/stamp/app_vacation.cpp" "src/CMakeFiles/suvtm.dir/stamp/app_vacation.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/app_vacation.cpp.o.d"
+  "/root/repo/src/stamp/app_yada.cpp" "src/CMakeFiles/suvtm.dir/stamp/app_yada.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/app_yada.cpp.o.d"
+  "/root/repo/src/stamp/framework.cpp" "src/CMakeFiles/suvtm.dir/stamp/framework.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/framework.cpp.o.d"
+  "/root/repo/src/stamp/sim_ds.cpp" "src/CMakeFiles/suvtm.dir/stamp/sim_ds.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/stamp/sim_ds.cpp.o.d"
+  "/root/repo/src/suv/pool.cpp" "src/CMakeFiles/suvtm.dir/suv/pool.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/suv/pool.cpp.o.d"
+  "/root/repo/src/suv/redirect_entry.cpp" "src/CMakeFiles/suvtm.dir/suv/redirect_entry.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/suv/redirect_entry.cpp.o.d"
+  "/root/repo/src/suv/redirect_table.cpp" "src/CMakeFiles/suvtm.dir/suv/redirect_table.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/suv/redirect_table.cpp.o.d"
+  "/root/repo/src/suv/summary_signature.cpp" "src/CMakeFiles/suvtm.dir/suv/summary_signature.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/suv/summary_signature.cpp.o.d"
+  "/root/repo/src/vm/dyntm.cpp" "src/CMakeFiles/suvtm.dir/vm/dyntm.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/vm/dyntm.cpp.o.d"
+  "/root/repo/src/vm/factory.cpp" "src/CMakeFiles/suvtm.dir/vm/factory.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/vm/factory.cpp.o.d"
+  "/root/repo/src/vm/fastm.cpp" "src/CMakeFiles/suvtm.dir/vm/fastm.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/vm/fastm.cpp.o.d"
+  "/root/repo/src/vm/logtm_se.cpp" "src/CMakeFiles/suvtm.dir/vm/logtm_se.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/vm/logtm_se.cpp.o.d"
+  "/root/repo/src/vm/suv_vm.cpp" "src/CMakeFiles/suvtm.dir/vm/suv_vm.cpp.o" "gcc" "src/CMakeFiles/suvtm.dir/vm/suv_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cacti_test.dir/cacti_test.cpp.o"
+  "CMakeFiles/cacti_test.dir/cacti_test.cpp.o.d"
+  "cacti_test"
+  "cacti_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cacti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

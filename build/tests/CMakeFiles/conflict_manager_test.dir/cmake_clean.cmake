@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_manager_test.dir/conflict_manager_test.cpp.o"
+  "CMakeFiles/conflict_manager_test.dir/conflict_manager_test.cpp.o.d"
+  "conflict_manager_test"
+  "conflict_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

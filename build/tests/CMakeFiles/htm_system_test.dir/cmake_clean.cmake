@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_system_test.dir/htm_system_test.cpp.o"
+  "CMakeFiles/htm_system_test.dir/htm_system_test.cpp.o.d"
+  "htm_system_test"
+  "htm_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

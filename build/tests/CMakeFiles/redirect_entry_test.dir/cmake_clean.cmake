@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redirect_entry_test.dir/redirect_entry_test.cpp.o"
+  "CMakeFiles/redirect_entry_test.dir/redirect_entry_test.cpp.o.d"
+  "redirect_entry_test"
+  "redirect_entry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redirect_entry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

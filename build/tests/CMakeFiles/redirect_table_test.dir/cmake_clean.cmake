@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redirect_table_test.dir/redirect_table_test.cpp.o"
+  "CMakeFiles/redirect_table_test.dir/redirect_table_test.cpp.o.d"
+  "redirect_table_test"
+  "redirect_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redirect_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ds_test.dir/sim_ds_test.cpp.o"
+  "CMakeFiles/sim_ds_test.dir/sim_ds_test.cpp.o.d"
+  "sim_ds_test"
+  "sim_ds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

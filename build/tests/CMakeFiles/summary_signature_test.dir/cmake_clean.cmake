@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_signature_test.dir/summary_signature_test.cpp.o"
+  "CMakeFiles/summary_signature_test.dir/summary_signature_test.cpp.o.d"
+  "summary_signature_test"
+  "summary_signature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

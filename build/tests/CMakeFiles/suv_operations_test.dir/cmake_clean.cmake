@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suv_operations_test.dir/suv_operations_test.cpp.o"
+  "CMakeFiles/suv_operations_test.dir/suv_operations_test.cpp.o.d"
+  "suv_operations_test"
+  "suv_operations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suv_operations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_fastm_test.dir/vm_fastm_test.cpp.o"
+  "CMakeFiles/vm_fastm_test.dir/vm_fastm_test.cpp.o.d"
+  "vm_fastm_test"
+  "vm_fastm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_fastm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_logtm_test.dir/vm_logtm_test.cpp.o"
+  "CMakeFiles/vm_logtm_test.dir/vm_logtm_test.cpp.o.d"
+  "vm_logtm_test"
+  "vm_logtm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_logtm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_suv_test.dir/vm_suv_test.cpp.o"
+  "CMakeFiles/vm_suv_test.dir/vm_suv_test.cpp.o.d"
+  "vm_suv_test"
+  "vm_suv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_suv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
