@@ -5,21 +5,28 @@
 //  (3) the summary signature size (false-filter pressure),
 //  (4) the Bloom signature size (false-conflict pressure, all schemes).
 //
-// Usage: bench_ablation_costs [scale]
+// Usage: bench_ablation_costs [scale] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 namespace {
 
+std::uint64_t g_events = 0;  // simulated events across every suite run
+std::uint64_t g_runs = 0;
+
 std::uint64_t suite_total(sim::Scheme scheme, const sim::SimConfig& cfg,
                           const stamp::SuiteParams& params) {
   std::uint64_t total = 0;
   for (const auto& r : runner::run_suite(scheme, cfg, params)) {
     total += r.makespan;
+    g_events += r.sim_events;
+    ++g_runs;
   }
   return total;
 }
@@ -27,8 +34,11 @@ std::uint64_t suite_total(sim::Scheme scheme, const sim::SimConfig& cfg,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  runner::set_default_jobs(jobs);
   stamp::SuiteParams params;
   params.scale = argc > 1 ? std::atof(argv[1]) : 0.25;  // sweeps are pricey
+  runner::WallTimer timer;
 
   std::printf("Ablation: headline sensitivity to cost-model choices "
               "(suite-sum cycles, scale=%.2f)\n\n", params.scale);
@@ -103,6 +113,8 @@ int main(int argc, char** argv) {
     for (const auto& r : runner::run_suite(sim::Scheme::kSuv, cfg, params)) {
       cycles += r.makespan;
       aborts += r.htm.aborts;
+      g_events += r.sim_events;
+      ++g_runs;
     }
     t5.push_back({policy == sim::ConflictPolicy::kRequesterStalls
                       ? "requester-stalls (paper default)"
@@ -110,5 +122,16 @@ int main(int argc, char** argv) {
                   runner::fmt_u64(cycles), runner::fmt_u64(aborts)});
   }
   std::printf("%s\n", runner::render_table(t5).c_str());
+
+  const double wall_s = timer.seconds();
+  runner::BenchReport report("ablation_costs");
+  report.set("jobs", jobs);
+  report.set("scale", params.scale);
+  report.set("runs", g_runs);
+  report.set("wall_seconds", wall_s);
+  report.set("sim_events", g_events);
+  report.set("events_per_sec",
+             wall_s > 0 ? static_cast<double>(g_events) / wall_s : 0.0);
+  report.write();
   return 0;
 }

@@ -3,7 +3,7 @@
 // Also prints the paper's Section V headline speedups (all apps / the five
 // high-contention apps).
 //
-// Usage: bench_fig6_breakdown [scale] [csv-path]
+// Usage: bench_fig6_breakdown [scale] [csv-path] [--jobs N]
 //   With a csv-path, also writes the per-app makespan table as CSV for
 //   plotting.
 #include <cstdio>
@@ -11,21 +11,43 @@
 #include <map>
 #include <string>
 
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
+  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  runner::set_default_jobs(jobs);
   stamp::SuiteParams params;
   if (argc > 1) params.scale = std::atof(argv[1]);
 
   sim::SimConfig cfg;
 
+  // Fan the full scheme x app matrix across host cores in one batch.
   const sim::Scheme schemes[] = {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
                                  sim::Scheme::kSuv};
-  std::map<sim::Scheme, std::vector<runner::RunResult>> results;
+  std::vector<runner::RunPoint> points;
   for (sim::Scheme s : schemes) {
-    results[s] = runner::run_suite(s, cfg, params);
+    sim::SimConfig c = cfg;
+    c.scheme = s;
+    for (stamp::AppId app : stamp::all_apps()) {
+      points.push_back(runner::RunPoint{app, c, params});
+    }
+  }
+  runner::WallTimer timer;
+  const auto flat = runner::run_matrix(points);
+  const double wall_s = timer.seconds();
+
+  std::map<sim::Scheme, std::vector<runner::RunResult>> results;
+  std::size_t idx = 0;
+  std::uint64_t events = 0;
+  for (sim::Scheme s : schemes) {
+    for (std::size_t a = 0; a < stamp::all_apps().size(); ++a) {
+      events += flat[idx].sim_events;
+      results[s].push_back(flat[idx++]);
+    }
   }
 
   std::printf("Figure 6: execution time breakdown, normalized to LogTM-SE "
@@ -80,5 +102,21 @@ int main(int argc, char** argv) {
               100.0 * (runner::geomean_speedup(fastm, suvtm_r, false) - 1.0));
   std::printf("  SUV-TM over FasTM,    high-contention : %+.1f%%   (paper: +12%%)\n",
               100.0 * (runner::geomean_speedup(fastm, suvtm_r, true) - 1.0));
+
+  runner::BenchReport report("fig6_breakdown");
+  report.set("jobs", jobs);
+  report.set("scale", params.scale);
+  report.set("runs", static_cast<std::uint64_t>(points.size()));
+  report.set("wall_seconds", wall_s);
+  report.set("sim_events", events);
+  report.set("events_per_sec",
+             wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0);
+  report.set("suv_vs_logtm_all",
+             runner::geomean_speedup(logtm, suvtm_r, false));
+  report.set("suv_vs_logtm_high",
+             runner::geomean_speedup(logtm, suvtm_r, true));
+  report.set("suv_vs_fastm_all",
+             runner::geomean_speedup(fastm, suvtm_r, false));
+  report.write();
   return 0;
 }

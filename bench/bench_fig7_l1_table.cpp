@@ -2,19 +2,24 @@
 //  (a) L1 table miss rate vs table size   (paper: high hit rate at 512)
 //  (b) total execution time vs table size (paper: flat beyond 512)
 //
-// Usage: bench_fig7_l1_table [scale]
+// Usage: bench_fig7_l1_table [scale] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
+  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  runner::set_default_jobs(jobs);
   stamp::SuiteParams params;
   if (argc > 1) params.scale = std::atof(argv[1]);
 
   const std::uint32_t sizes[] = {64, 128, 256, 512, 1024, 2048};
+  const std::uint64_t seeds[] = {42, 43, 44};
 
   std::printf("Figure 7: first-level redirect table sensitivity "
               "(SUV-TM, scale=%.2f)\n\n", params.scale);
@@ -22,27 +27,39 @@ int main(int argc, char** argv) {
   rows.push_back({"entries", "miss rate (a)", "exec cycles, suite sum (b)",
                   "normalized to 512"});
 
-  // Measure at 512 first for normalization.
+  // One flat size x seed x app matrix; seeds smooth contention noise.
+  std::vector<runner::RunPoint> points;
+  for (std::uint32_t size : sizes) {
+    sim::SimConfig cfg;
+    cfg.scheme = sim::Scheme::kSuv;
+    cfg.suv.l1_table_entries = size;
+    for (std::uint64_t seed : seeds) {
+      stamp::SuiteParams p = params;
+      p.seed = seed;
+      for (stamp::AppId app : stamp::all_apps()) {
+        points.push_back(runner::RunPoint{app, cfg, p});
+      }
+    }
+  }
+  runner::WallTimer timer;
+  const auto flat = runner::run_matrix(points);
+  const double wall_s = timer.seconds();
+
   std::vector<double> exec(std::size(sizes), 0.0);
   std::vector<double> miss(std::size(sizes), 0.0);
   double exec512 = 0.0;
+  std::size_t idx = 0;
   for (std::size_t i = 0; i < std::size(sizes); ++i) {
-    sim::SimConfig cfg;
-    cfg.scheme = sim::Scheme::kSuv;
-    cfg.suv.l1_table_entries = sizes[i];
     std::uint64_t lookups = 0, misses = 0, total = 0;
-    // Average over seeds to smooth contention noise.
-    for (std::uint64_t seed : {42ull, 43ull, 44ull}) {
-      stamp::SuiteParams p = params;
-      p.seed = seed;
-      for (const auto& r : runner::run_suite(sim::Scheme::kSuv, cfg, p)) {
-        lookups += r.table.l1_hits + r.table.l1_misses;
-        misses += r.table.l1_misses;
-        total += r.makespan;
-      }
+    for (std::size_t run = 0; run < std::size(seeds) * stamp::all_apps().size();
+         ++run) {
+      const auto& r = flat[idx++];
+      lookups += r.table.l1_hits + r.table.l1_misses;
+      misses += r.table.l1_misses;
+      total += r.makespan;
     }
     miss[i] = lookups ? static_cast<double>(misses) / lookups : 0.0;
-    exec[i] = static_cast<double>(total) / 3.0;
+    exec[i] = static_cast<double>(total) / std::size(seeds);
     if (sizes[i] == 512) exec512 = exec[i];
   }
   for (std::size_t i = 0; i < std::size(sizes); ++i) {
@@ -55,5 +72,17 @@ int main(int argc, char** argv) {
   std::printf("expected shape: miss rate falls steeply to 512 entries, then "
               "flattens;\nexecution time improves little beyond 512 "
               "(paper Figure 7).\n");
+
+  std::uint64_t events = 0;
+  for (const auto& r : flat) events += r.sim_events;
+  runner::BenchReport report("fig7_l1_table");
+  report.set("jobs", jobs);
+  report.set("scale", params.scale);
+  report.set("runs", static_cast<std::uint64_t>(flat.size()));
+  report.set("wall_seconds", wall_s);
+  report.set("sim_events", events);
+  report.set("events_per_sec",
+             wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0);
+  report.write();
   return 0;
 }

@@ -3,54 +3,87 @@
 //  (b) execution time vs table latency (paper: degrades past ~10 cycles;
 //      zero latency buys < 5%)
 //
-// Usage: bench_fig8_l2_table [scale]
+// Usage: bench_fig8_l2_table [scale] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 namespace {
 
-std::uint64_t suite_total(const sim::SimConfig& cfg,
-                          const stamp::SuiteParams& params) {
-  // Average over seeds: contention interleavings are noisy relative to the
-  // few-percent sensitivity effects this figure measures.
-  std::uint64_t total = 0;
-  for (std::uint64_t seed : {42ull, 43ull, 44ull}) {
+constexpr std::uint64_t kSeeds[] = {42, 43, 44};
+
+// Append one suite run per seed for this config to the flat point list.
+void push_config(std::vector<runner::RunPoint>& points,
+                 const sim::SimConfig& cfg,
+                 const stamp::SuiteParams& params) {
+  for (std::uint64_t seed : kSeeds) {
     stamp::SuiteParams p = params;
     p.seed = seed;
-    for (const auto& r : runner::run_suite(sim::Scheme::kSuv, cfg, p)) {
-      total += r.makespan;
+    for (stamp::AppId app : stamp::all_apps()) {
+      points.push_back(runner::RunPoint{app, cfg, p});
     }
   }
-  return total / 3;
+}
+
+// Seed-averaged suite makespan for the next seeds x apps block of results.
+std::uint64_t pop_total(const std::vector<runner::RunResult>& flat,
+                        std::size_t& idx) {
+  std::uint64_t total = 0;
+  for (std::size_t run = 0; run < std::size(kSeeds) * stamp::all_apps().size();
+       ++run) {
+    total += flat[idx++].makespan;
+  }
+  return total / std::size(kSeeds);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  runner::set_default_jobs(jobs);
   stamp::SuiteParams params;
   if (argc > 1) params.scale = std::atof(argv[1]);
 
   std::printf("Figure 8: second-level redirect table sensitivity "
               "(SUV-TM, scale=%.2f)\n\n", params.scale);
 
-  // (a) size sweep at the default 10-cycle latency.
   const std::uint32_t sizes[] = {2048, 4096, 8192, 16384, 32768, 65536};
-  std::uint64_t base_size = 0;
-  std::vector<std::vector<std::string>> rows_a;
-  rows_a.push_back({"entries", "exec cycles (suite sum)", "normalized to 16K"});
-  std::vector<std::uint64_t> totals_a;
+  const Cycle lats[] = {0, 5, 10, 20, 40};
+
+  // Both sweeps in one flat batch so the pool never drains between them.
+  std::vector<runner::RunPoint> points;
   for (std::uint32_t s : sizes) {
     sim::SimConfig cfg;
     cfg.scheme = sim::Scheme::kSuv;
     cfg.suv.l2_table_entries = s;
-    const std::uint64_t t = suite_total(cfg, params);
+    push_config(points, cfg, params);
+  }
+  for (Cycle lat : lats) {
+    sim::SimConfig cfg;
+    cfg.scheme = sim::Scheme::kSuv;
+    cfg.suv.l2_table_latency = lat;
+    push_config(points, cfg, params);
+  }
+  runner::WallTimer timer;
+  const auto flat = runner::run_matrix(points);
+  const double wall_s = timer.seconds();
+  std::size_t idx = 0;
+
+  // (a) size sweep at the default 10-cycle latency.
+  std::uint64_t base_size = 0;
+  std::vector<std::uint64_t> totals_a;
+  for (std::uint32_t s : sizes) {
+    const std::uint64_t t = pop_total(flat, idx);
     totals_a.push_back(t);
     if (s == 16384) base_size = t;
   }
+  std::vector<std::vector<std::string>> rows_a;
+  rows_a.push_back({"entries", "exec cycles (suite sum)", "normalized to 16K"});
   for (std::size_t i = 0; i < std::size(sizes); ++i) {
     rows_a.push_back({runner::fmt_u64(sizes[i]), runner::fmt_u64(totals_a[i]),
                       runner::fmt_fixed(static_cast<double>(totals_a[i]) /
@@ -61,14 +94,10 @@ int main(int argc, char** argv) {
               runner::render_table(rows_a).c_str());
 
   // (b) latency sweep at the default 16K entries.
-  const Cycle lats[] = {0, 5, 10, 20, 40};
   std::uint64_t base_lat = 0;
   std::vector<std::uint64_t> totals_b;
   for (Cycle lat : lats) {
-    sim::SimConfig cfg;
-    cfg.scheme = sim::Scheme::kSuv;
-    cfg.suv.l2_table_latency = lat;
-    const std::uint64_t t = suite_total(cfg, params);
+    const std::uint64_t t = pop_total(flat, idx);
     totals_b.push_back(t);
     if (lat == 10) base_lat = t;
   }
@@ -86,5 +115,17 @@ int main(int argc, char** argv) {
   std::printf("expected shape: little gain beyond 16K entries; execution "
               "time rises\nsharply past ~10 cycles while zero latency buys "
               "< 5%% (paper Figure 8).\n");
+
+  std::uint64_t events = 0;
+  for (const auto& r : flat) events += r.sim_events;
+  runner::BenchReport report("fig8_l2_table");
+  report.set("jobs", jobs);
+  report.set("scale", params.scale);
+  report.set("runs", static_cast<std::uint64_t>(flat.size()));
+  report.set("wall_seconds", wall_s);
+  report.set("sim_events", events);
+  report.set("events_per_sec",
+             wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0);
+  report.write();
   return 0;
 }

@@ -4,22 +4,28 @@
 // The Committing bucket carries the paper's headline contrast: lazy
 // publication is per-line with FasTM but a flash flip with SUV.
 //
-// Usage: bench_fig9_dyntm [scale]
+// Usage: bench_fig9_dyntm [scale] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
+  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  runner::set_default_jobs(jobs);
   stamp::SuiteParams params;
   if (argc > 1) params.scale = std::atof(argv[1]);
 
   sim::SimConfig cfg;
+  runner::WallTimer timer;
   auto d = runner::run_suite(sim::Scheme::kDynTm, cfg, params);
   auto ds = runner::run_suite(sim::Scheme::kDynTmSuv, cfg, params);
+  const double wall_s = timer.seconds();
 
   std::printf("Figure 9: DynTM (D) vs DynTM+SUV (D+S), normalized to DynTM "
               "(scale=%.2f, 16 cores)\n\n", params.scale);
@@ -64,5 +70,20 @@ int main(int argc, char** argv) {
               100.0 * (runner::geomean_speedup(d, ds, false) - 1.0));
   std::printf("  DynTM+SUV over DynTM, high-contention : %+.1f%%   (paper: +18.6%%)\n",
               100.0 * (runner::geomean_speedup(d, ds, true) - 1.0));
+
+  std::uint64_t events = 0;
+  for (const auto& r : d) events += r.sim_events;
+  for (const auto& r : ds) events += r.sim_events;
+  runner::BenchReport report("fig9_dyntm");
+  report.set("jobs", jobs);
+  report.set("scale", params.scale);
+  report.set("runs", static_cast<std::uint64_t>(d.size() + ds.size()));
+  report.set("wall_seconds", wall_s);
+  report.set("sim_events", events);
+  report.set("events_per_sec",
+             wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0);
+  report.set("dyntm_suv_vs_dyntm_all", runner::geomean_speedup(d, ds, false));
+  report.set("dyntm_suv_vs_dyntm_high", runner::geomean_speedup(d, ds, true));
+  report.write();
   return 0;
 }

@@ -1,19 +1,105 @@
 // Host-level micro-benchmarks (google-benchmark) of the hot simulator
-// structures: Bloom signatures, the summary signature, the redirect table
-// and the cache tag array. These guard the simulator's own performance --
-// full-suite experiment time is dominated by exactly these operations.
+// structures: Bloom signatures, the summary signature, the redirect table,
+// the cache tag array and the event scheduler. These guard the simulator's
+// own performance -- full-suite experiment time is dominated by exactly
+// these operations.
+//
+// Besides the google-benchmark suite, main() runs a fixed head-to-head of
+// the current scheduler (move-friendly binary heap + SmallFn callbacks)
+// against the seed implementation (std::priority_queue of std::function
+// events, copy on every pop) and writes the events/sec of both to
+// BENCH_micro_structures.json.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <queue>
 
 #include "common/rng.hpp"
 #include "htm/signature.hpp"
 #include "mem/cache.hpp"
+#include "runner/bench_report.hpp"
 #include "sim/config.hpp"
+#include "sim/scheduler.hpp"
 #include "suv/redirect_table.hpp"
 #include "suv/summary_signature.hpp"
 
 using namespace suvtm;
 
 namespace {
+
+// The seed scheduler, verbatim in shape: callbacks are std::function (whose
+// typical 24-byte coroutine-resumption capture exceeds libstdc++'s inline
+// buffer, so every schedule allocates) and popping the priority_queue copies
+// the event out because top() is const.
+class LegacyScheduler {
+ public:
+  Cycle now() const { return now_; }
+  void at(Cycle t, std::function<void()> fn) {
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+  void after(Cycle delay, std::function<void()> fn) {
+    at(now_ + delay, std::move(fn));
+  }
+  bool run(Cycle limit) {
+    while (!queue_.empty()) {
+      if (queue_.top().t > limit) return false;
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.t;
+      ++events_;
+      ev.fn();
+    }
+    return true;
+  }
+  std::uint64_t events_processed() const { return events_; }
+
+ private:
+  struct Event {
+    Cycle t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// Simulator-shaped event churn: kChains self-rescheduling handlers (one per
+// simulated core plus mesh traffic) whose captures match the hot
+// [this, &aw, h] lambdas in ThreadContext (24 bytes).
+template <class Sched>
+std::uint64_t scheduler_churn(std::uint64_t target_events) {
+  Sched s;
+  constexpr int kChains = 64;
+  std::uint64_t processed = 0;
+  struct Chain {
+    Sched* s;
+    std::uint64_t* processed;
+    std::uint64_t limit;
+    std::uint64_t x;
+    void operator()() {
+      if (*processed >= limit) return;
+      ++*processed;
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      s->after(1 + (x >> 61), Chain{*this});
+    }
+  };
+  static_assert(sizeof(Chain) == 32, "capture should model the hot lambdas");
+  for (int i = 0; i < kChains; ++i) {
+    s.after(static_cast<Cycle>(i),
+            Chain{&s, &processed, target_events,
+                  0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(i)});
+  }
+  s.run(~Cycle{0});
+  return processed;
+}
 
 void BM_SignatureAdd(benchmark::State& state) {
   htm::Signature sig(2048, 2);
@@ -100,6 +186,65 @@ void BM_CacheInsertEvict(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheInsertEvict);
 
+void BM_SchedulerEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler_churn<sim::Scheduler>(100000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_SchedulerEventChurn);
+
+void BM_SchedulerEventChurnLegacy(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler_churn<LegacyScheduler>(100000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_SchedulerEventChurnLegacy);
+
+/// Fixed head-to-head for the JSON report: events/sec through each
+/// scheduler implementation on the identical churn workload.
+void write_scheduler_report() {
+  constexpr std::uint64_t kEvents = 2'000'000;
+  // Warm both allocators/caches once before timing.
+  scheduler_churn<sim::Scheduler>(kEvents / 10);
+  scheduler_churn<LegacyScheduler>(kEvents / 10);
+
+  runner::WallTimer t_new;
+  const std::uint64_t n_new = scheduler_churn<sim::Scheduler>(kEvents);
+  const double s_new = t_new.seconds();
+
+  runner::WallTimer t_old;
+  const std::uint64_t n_old = scheduler_churn<LegacyScheduler>(kEvents);
+  const double s_old = t_old.seconds();
+
+  const double eps_new = s_new > 0 ? static_cast<double>(n_new) / s_new : 0.0;
+  const double eps_old = s_old > 0 ? static_cast<double>(n_old) / s_old : 0.0;
+  const double ratio = eps_old > 0 ? eps_new / eps_old : 0.0;
+  std::printf("\nscheduler head-to-head (%llu events):\n"
+              "  SmallFn heap       : %12.0f events/s\n"
+              "  legacy std::function: %11.0f events/s\n"
+              "  speedup            : %.2fx\n",
+              static_cast<unsigned long long>(kEvents), eps_new, eps_old,
+              ratio);
+
+  runner::BenchReport report("micro_structures");
+  report.set("scheduler_events", kEvents);
+  report.set("events_per_sec_smallfn_heap", eps_new);
+  report.set("events_per_sec_legacy_stdfunction", eps_old);
+  report.set("scheduler_speedup", ratio);
+  report.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_scheduler_report();
+  return 0;
+}

@@ -1,40 +1,157 @@
-// Thread-scaling ablation (beyond the paper, which fixes 16 cores): how
-// each version-management scheme's suite execution time scales from 1 to
-// 16 cores. Version-management overhead differences compound with core
-// count -- the paper's premise that future many-core CMPs make the choice
-// matter more.
+// Experiment-throughput scaling: how fast the *harness* chews through a
+// scheme x app sweep as host jobs increase, plus the thread-scaling
+// ablation (how each scheme's suite execution time scales from 1 to 16
+// simulated cores).
 //
-// Usage: bench_scaling [scale]
+// Part 1 runs the same scheme x app matrix twice -- --jobs 1 and --jobs N --
+// times both, and verifies the RunResults are bit-identical (the
+// ParallelExecutor determinism guarantee). Part 2 fans the cores x scheme x
+// app cross-product through the pool. A machine-readable summary lands in
+// BENCH_scaling.json.
+//
+// Usage: bench_scaling [scale] [--jobs N] [--smoke]
+//   --smoke: tiny scale + identity check only; exits non-zero on mismatch
+//            (used as the ctest parallel smoke target).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
-int main(int argc, char** argv) {
-  stamp::SuiteParams params;
-  params.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+namespace {
 
+std::vector<runner::RunPoint> sweep_points(const stamp::SuiteParams& params,
+                                           std::uint32_t cores) {
+  std::vector<runner::RunPoint> points;
+  for (sim::Scheme s : {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
+                        sim::Scheme::kSuv}) {
+    sim::SimConfig cfg;
+    cfg.scheme = s;
+    cfg.mem.num_cores = cores;
+    for (stamp::AppId app : stamp::all_apps()) {
+      points.push_back(runner::RunPoint{app, cfg, params});
+    }
+  }
+  return points;
+}
+
+std::uint64_t total_events(const std::vector<runner::RunResult>& rs) {
+  std::uint64_t n = 0;
+  for (const auto& r : rs) n += r.sim_events;
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  stamp::SuiteParams params;
+  params.scale = argc > 1 ? std::atof(argv[1]) : (smoke ? 0.1 : 0.5);
+
+  runner::BenchReport report("scaling");
+  report.set("jobs", jobs);
+  report.set("scale", params.scale);
+  report.set("smoke", static_cast<std::uint64_t>(smoke ? 1 : 0));
+
+  // ---- Part 1: harness throughput, --jobs 1 vs --jobs N ------------------
+  const auto points = sweep_points(params, smoke ? 8 : 16);
+  std::printf("Part 1: scheme x app sweep (%zu runs, scale=%.2f), "
+              "jobs=1 vs jobs=%u\n\n", points.size(), params.scale, jobs);
+
+  runner::ParallelExecutor serial(1);
+  runner::WallTimer t1;
+  const auto serial_results = runner::run_matrix(points, serial);
+  const double serial_s = t1.seconds();
+
+  runner::ParallelExecutor pool(jobs);
+  runner::WallTimer tn;
+  const auto pool_results = runner::run_matrix(points, pool);
+  const double pool_s = tn.seconds();
+
+  bool identical = serial_results.size() == pool_results.size();
+  for (std::size_t i = 0; identical && i < serial_results.size(); ++i) {
+    identical = serial_results[i] == pool_results[i];
+  }
+
+  const std::uint64_t events = total_events(pool_results);
+  const double speedup = pool_s > 0.0 ? serial_s / pool_s : 0.0;
+  std::printf("  jobs=1 : %7.2f s   (%.0f events/s)\n", serial_s,
+              serial_s > 0 ? static_cast<double>(events) / serial_s : 0.0);
+  std::printf("  jobs=%-2u: %7.2f s   (%.0f events/s)\n", jobs, pool_s,
+              pool_s > 0 ? static_cast<double>(events) / pool_s : 0.0);
+  std::printf("  speedup: %5.2fx   results bit-identical: %s\n\n", speedup,
+              identical ? "yes" : "NO -- DETERMINISM VIOLATION");
+
+  report.set("sweep_runs", static_cast<std::uint64_t>(points.size()));
+  report.set("wall_seconds_jobs1", serial_s);
+  report.set("wall_seconds_jobsN", pool_s);
+  report.set("speedup", speedup);
+  report.set("sim_events", events);
+  report.set("events_per_sec_jobs1",
+             serial_s > 0 ? static_cast<double>(events) / serial_s : 0.0);
+  report.set("events_per_sec_jobsN",
+             pool_s > 0 ? static_cast<double>(events) / pool_s : 0.0);
+  report.set("bit_identical", static_cast<std::uint64_t>(identical ? 1 : 0));
+
+  if (smoke) {
+    report.write();
+    if (!identical) {
+      std::fprintf(stderr, "FAIL: parallel results differ from serial\n");
+      return 1;
+    }
+    std::printf("smoke OK\n");
+    return 0;
+  }
+
+  // ---- Part 2: simulated-core scaling per scheme (paper ablation) --------
   const std::uint32_t core_counts[] = {1, 2, 4, 8, 16};
   const sim::Scheme schemes[] = {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
                                  sim::Scheme::kSuv};
 
-  std::printf("Thread scaling: suite-sum cycles per scheme and core count "
+  // Flatten cores x scheme x app into one matrix so the pool never drains
+  // between table rows.
+  std::vector<runner::RunPoint> all;
+  for (std::uint32_t cores : core_counts) {
+    for (sim::Scheme s : schemes) {
+      sim::SimConfig cfg;
+      cfg.scheme = s;
+      cfg.mem.num_cores = cores;
+      for (stamp::AppId app : stamp::all_apps()) {
+        all.push_back(runner::RunPoint{app, cfg, params});
+      }
+    }
+  }
+  runner::WallTimer t2;
+  const auto results = runner::run_matrix(all, pool);
+  const double part2_s = t2.seconds();
+
+  std::printf("Part 2: suite-sum cycles per scheme and simulated core count "
               "(scale=%.2f)\n\n", params.scale);
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"cores", "LogTM-SE", "FasTM", "SUV-TM",
                   "SUV speedup vs LogTM-SE"});
+  const std::size_t napps = stamp::all_apps().size();
+  std::size_t idx = 0;
   for (std::uint32_t cores : core_counts) {
     std::vector<std::string> row = {runner::fmt_u64(cores)};
     std::uint64_t logtm = 0, suv = 0;
     for (sim::Scheme s : schemes) {
-      sim::SimConfig cfg;
-      cfg.mem.num_cores = cores;
       std::uint64_t total = 0;
-      for (const auto& r : runner::run_suite(s, cfg, params)) {
-        total += r.makespan;
-      }
+      for (std::size_t a = 0; a < napps; ++a) total += results[idx++].makespan;
       row.push_back(runner::fmt_u64(total));
       if (s == sim::Scheme::kLogTmSe) logtm = total;
       if (s == sim::Scheme::kSuv) suv = total;
@@ -48,6 +165,11 @@ int main(int argc, char** argv) {
   std::printf("expected shape: at 1 core the schemes differ only by "
               "bookkeeping costs; the\nSUV advantage grows with core count "
               "as conflicts (and therefore commit/abort\nisolation windows) "
-              "start to dominate.\n");
-  return 0;
+              "start to dominate.\n\n");
+
+  report.set("core_sweep_runs", static_cast<std::uint64_t>(all.size()));
+  report.set("core_sweep_wall_seconds", part2_s);
+  report.set("core_sweep_events", total_events(results));
+  report.write();
+  return identical ? 0 : 1;
 }

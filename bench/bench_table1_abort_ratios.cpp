@@ -3,15 +3,19 @@
 // prior studies (up to 79%+ for STAMP-class workloads); this bench measures
 // the equivalent numbers for our reproduction so they can be compared.
 //
-// Usage: bench_table1_abort_ratios [scale]
+// Usage: bench_table1_abort_ratios [scale] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
+  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  runner::set_default_jobs(jobs);
   stamp::SuiteParams params;
   if (argc > 1) params.scale = std::atof(argv[1]);
 
@@ -26,10 +30,25 @@ int main(int argc, char** argv) {
   for (sim::Scheme s : schemes) header.push_back(sim::scheme_name(s));
   rows.push_back(header);
 
-  std::vector<std::vector<runner::RunResult>> all;
+  // One flat scheme x app matrix so the pool never drains between schemes.
+  std::vector<runner::RunPoint> points;
   for (sim::Scheme s : schemes) {
     sim::SimConfig cfg;
-    all.push_back(runner::run_suite(s, cfg, params));
+    cfg.scheme = s;
+    for (stamp::AppId app : stamp::all_apps()) {
+      points.push_back(runner::RunPoint{app, cfg, params});
+    }
+  }
+  runner::WallTimer timer;
+  const auto flat = runner::run_matrix(points);
+  const double wall_s = timer.seconds();
+
+  std::vector<std::vector<runner::RunResult>> all;
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < std::size(schemes); ++s) {
+    all.emplace_back(flat.begin() + idx,
+                     flat.begin() + idx + stamp::all_apps().size());
+    idx += stamp::all_apps().size();
   }
   for (std::size_t i = 0; i < all[0].size(); ++i) {
     const bool high =
@@ -46,5 +65,17 @@ int main(int argc, char** argv) {
               "to 75.9%% (SBCR-HTM),\n79.4%% (LiteTM) and 72-79%% "
               "(Lee-TM/TransPlant) on STAMP-class workloads, motivating\n"
               "version management that is cheap on abort as well as commit.\n");
+
+  std::uint64_t events = 0;
+  for (const auto& r : flat) events += r.sim_events;
+  runner::BenchReport report("table1_abort_ratios");
+  report.set("jobs", jobs);
+  report.set("scale", params.scale);
+  report.set("runs", static_cast<std::uint64_t>(flat.size()));
+  report.set("wall_seconds", wall_s);
+  report.set("sim_events", events);
+  report.set("events_per_sec",
+             wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0);
+  report.write();
   return 0;
 }

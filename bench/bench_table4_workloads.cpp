@@ -2,20 +2,26 @@
 // length (cycles of committed transactional work per commit, our analogue
 // of the paper's instruction counts) and contention class per application.
 //
-// Usage: bench_table4_workloads [scale]
+// Usage: bench_table4_workloads [scale] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
+  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  runner::set_default_jobs(jobs);
   stamp::SuiteParams params;
   if (argc > 1) params.scale = std::atof(argv[1]);
 
   sim::SimConfig cfg;
+  runner::WallTimer timer;
   auto results = runner::run_suite(sim::Scheme::kSuv, cfg, params);
+  const double wall_s = timer.seconds();
 
   std::printf("Table IV analogue: measured workload characteristics "
               "(SUV-TM, scale=%.2f)\n\n", params.scale);
@@ -45,5 +51,17 @@ int main(int argc, char** argv) {
               "< intruder 237 <\ngenome 1.7K < vacation 2.1K < yada 6.8K < "
               "bayes 43K < labyrinth 317K; the measured\ncycle lengths should "
               "preserve that ordering.\n");
+
+  std::uint64_t events = 0;
+  for (const auto& r : results) events += r.sim_events;
+  runner::BenchReport report("table4_workloads");
+  report.set("jobs", jobs);
+  report.set("scale", params.scale);
+  report.set("runs", static_cast<std::uint64_t>(results.size()));
+  report.set("wall_seconds", wall_s);
+  report.set("sim_events", events);
+  report.set("events_per_sec",
+             wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0);
+  report.write();
   return 0;
 }

@@ -3,20 +3,38 @@
 // state leaving the L1) across schemes against SUV's redirect-table
 // overflows, which the paper reports to be rare.
 //
-// Usage: bench_table5_overflows [scale]
+// Usage: bench_table5_overflows [scale] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 
+#include "runner/bench_report.hpp"
+#include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
+  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  runner::set_default_jobs(jobs);
   stamp::SuiteParams params;
   if (argc > 1) params.scale = std::atof(argv[1]);
 
   const stamp::AppId apps[] = {stamp::AppId::kBayes, stamp::AppId::kLabyrinth,
                                stamp::AppId::kYada};
+  const sim::Scheme schemes[] = {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
+                                 sim::Scheme::kSuv};
+
+  std::vector<runner::RunPoint> points;
+  for (stamp::AppId app : apps) {
+    for (sim::Scheme s : schemes) {
+      sim::SimConfig cfg;
+      cfg.scheme = s;
+      points.push_back(runner::RunPoint{app, cfg, params});
+    }
+  }
+  runner::WallTimer timer;
+  const auto results = runner::run_matrix(points);
+  const double wall_s = timer.seconds();
 
   std::printf("Table V: overflow statistics for the coarse-grained "
               "applications (scale=%.2f)\n\n", params.scale);
@@ -24,12 +42,11 @@ int main(int argc, char** argv) {
   rows.push_back({"app", "scheme", "overflowed txns", "spec evictions",
                   "FasTM degenerations", "redirect-table ovfl txns",
                   "L1-table spilled entries", "commits"});
+  std::size_t idx = 0;
   for (stamp::AppId app : apps) {
-    for (sim::Scheme s : {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
-                          sim::Scheme::kSuv}) {
-      sim::SimConfig cfg;
-      cfg.scheme = s;
-      auto r = runner::run_app(app, cfg, params);
+    (void)app;
+    for (sim::Scheme s : schemes) {
+      const auto& r = results[idx++];
       rows.push_back({r.app, sim::scheme_name(s),
                       runner::fmt_u64(r.htm.overflowed_attempts),
                       runner::fmt_u64(r.vm.data_overflows),
@@ -47,5 +64,17 @@ int main(int argc, char** argv) {
               "data overflow on\nthese three applications; SUV reduces data "
               "overflow and its redirect-table\noverflows are rare (only the "
               "occasional huge write-set exceeds 512 entries).\n");
+
+  std::uint64_t events = 0;
+  for (const auto& r : results) events += r.sim_events;
+  runner::BenchReport report("table5_overflows");
+  report.set("jobs", jobs);
+  report.set("scale", params.scale);
+  report.set("runs", static_cast<std::uint64_t>(results.size()));
+  report.set("wall_seconds", wall_s);
+  report.set("sim_events", events);
+  report.set("events_per_sec",
+             wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0);
+  report.write();
   return 0;
 }

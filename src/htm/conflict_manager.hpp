@@ -28,6 +28,8 @@ struct ConflictStats {
   std::uint64_t deadlock_aborts = 0;  // victims chosen by cycle detection
   std::uint64_t requester_wins = 0;   // holders doomed by kRequesterWins
   std::uint64_t suspended_stalls = 0; // NACKs from suspended-txn summaries
+
+  bool operator==(const ConflictStats&) const = default;
 };
 
 class ConflictManager {

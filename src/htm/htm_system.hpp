@@ -23,6 +23,8 @@ struct HtmStats {
   /// L1 -- the paper Table V's "overflowed transactions" metric.
   std::uint64_t overflowed_attempts = 0;
 
+  bool operator==(const HtmStats&) const = default;
+
   double abort_ratio() const {
     const double att = static_cast<double>(commits + aborts);
     return att == 0.0 ? 0.0 : static_cast<double>(aborts) / att;

@@ -48,6 +48,8 @@ struct VmStats {
   std::uint64_t spec_overflows = 0;    // L1 speculative-state overflows
   std::uint64_t degenerations = 0;     // FasTM fell back to LogTM-SE
   std::uint64_t data_overflows = 0;    // transactional data left the L1
+
+  bool operator==(const VmStats&) const = default;
 };
 
 class VersionManager {

@@ -79,14 +79,6 @@ void Cache::invalidate(LineAddr l) {
   }
 }
 
-void Cache::for_each(const std::function<void(Line&)>& fn) {
-  for (auto& set : sets_) {
-    for (auto& ln : set) {
-      if (ln.state != CohState::kInvalid) fn(ln);
-    }
-  }
-}
-
 std::uint32_t Cache::set_occupancy(LineAddr l) const {
   std::uint32_t n = 0;
   for (const auto& ln : set_of(l)) {

@@ -7,7 +7,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -59,7 +58,16 @@ class Cache {
   void invalidate(LineAddr l);
 
   /// Invoke `fn` for every valid line (e.g. flash-clear of SM bits).
-  void for_each(const std::function<void(Line&)>& fn);
+  /// Templated (not std::function) so the L1 walks done on every
+  /// commit/abort inline the callback instead of an indirect call.
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (auto& set : sets_) {
+      for (auto& ln : set) {
+        if (ln.state != CohState::kInvalid) fn(ln);
+      }
+    }
+  }
 
   /// Number of valid lines currently in `l`'s set.
   std::uint32_t set_occupancy(LineAddr l) const;

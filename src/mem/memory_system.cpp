@@ -1,7 +1,20 @@
 #include "mem/memory_system.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+
+namespace {
+
+/// Bitmask of cores holding a line per the directory entry: S sharers plus
+/// the M/E owner, if any.
+std::uint32_t holder_mask(const suvtm::mem::DirEntry& e) {
+  std::uint32_t m = e.sharers;
+  if (e.owner != suvtm::kNoCore) m |= 1u << e.owner;
+  return m;
+}
+
+}  // namespace
 
 namespace suvtm::mem {
 
@@ -18,9 +31,9 @@ MemorySystem::MemorySystem(const sim::MemParams& p)
 }
 
 Cycle MemorySystem::fetch_from_l2_or_memory(LineAddr l, std::uint32_t /*bank_tile*/) {
-  if (l2_.find(l)) {
+  if (Cache::Line* hit = l2_.find(l)) {
     ++stats_.l2_hits;
-    l2_.touch(*l2_.find(l));
+    l2_.touch(*hit);
     return params_.l2_latency;
   }
   ++stats_.l2_misses;
@@ -32,9 +45,8 @@ Cycle MemorySystem::fetch_from_l2_or_memory(LineAddr l, std::uint32_t /*bank_til
     if (de && (de->sharers != 0 || de->owner != kNoCore)) {
       ++stats_.l2_recalls;
       extra += params_.directory_latency + mesh_.average_latency();
-      for (CoreId c = 0; c < params_.num_cores; ++c) {
-        if ((de->sharers >> c) & 1u) l1_[c].invalidate(v.line);
-        if (de->owner == c) l1_[c].invalidate(v.line);
+      for (std::uint32_t m = holder_mask(*de); m != 0; m &= m - 1) {
+        l1_[std::countr_zero(m)].invalidate(v.line);
       }
       dir_.entry(v.line) = DirEntry{};
     }
@@ -149,13 +161,11 @@ AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
     // Invalidate all other sharers; cost is the farthest round trip,
     // invalidations travel in parallel.
     Cycle worst = 0;
-    for (CoreId c = 0; c < params_.num_cores; ++c) {
-      if (c == core) continue;
-      if ((e.sharers >> c) & 1u) {
-        ++stats_.invalidations;
-        l1_[c].invalidate(l);
-        worst = std::max(worst, mesh_.latency(bank, c) + mesh_.latency(c, core));
-      }
+    for (std::uint32_t m = e.sharers & ~(1u << core); m != 0; m &= m - 1) {
+      const CoreId c = static_cast<CoreId>(std::countr_zero(m));
+      ++stats_.invalidations;
+      l1_[c].invalidate(l);
+      worst = std::max(worst, mesh_.latency(bank, c) + mesh_.latency(c, core));
     }
     out.latency += worst;
     const bool had_local_copy = ln != nullptr;
@@ -181,9 +191,8 @@ bool MemorySystem::install_line(CoreId core, LineAddr l) {
   DirEntry& e = dir_.entry(l);
   // Invalidate any other holders (redirect targets are thread-private in
   // practice; this keeps the directory consistent regardless).
-  for (CoreId c = 0; c < params_.num_cores; ++c) {
-    if (c == core) continue;
-    if (((e.sharers >> c) & 1u) || e.owner == c) l1_[c].invalidate(l);
+  for (std::uint32_t m = holder_mask(e) & ~(1u << core); m != 0; m &= m - 1) {
+    l1_[std::countr_zero(m)].invalidate(l);
   }
   e.owner = core;
   e.sharers = 1u << core;
@@ -206,11 +215,13 @@ void MemorySystem::clear_speculative(CoreId core) {
 }
 
 void MemorySystem::invalidate_speculative(CoreId core) {
-  std::vector<LineAddr> doomed;
+  // Reuse one scratch vector across aborts; high-contention workloads abort
+  // millions of times and a fresh allocation per abort shows up in profiles.
+  spec_scratch_.clear();
   l1_[core].for_each([&](Cache::Line& ln) {
-    if (ln.speculative) doomed.push_back(ln.tag);
+    if (ln.speculative) spec_scratch_.push_back(ln.tag);
   });
-  for (LineAddr l : doomed) {
+  for (LineAddr l : spec_scratch_) {
     l1_[core].invalidate(l);
     dir_.remove_core(l, core);
   }

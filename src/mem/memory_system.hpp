@@ -43,6 +43,8 @@ struct MemStats {
   std::uint64_t forwards = 0;
   std::uint64_t l2_recalls = 0;
   std::uint64_t spec_evictions = 0;
+
+  bool operator==(const MemStats&) const = default;
 };
 
 class MemorySystem {
@@ -92,6 +94,7 @@ class MemorySystem {
   std::vector<Tlb> tlb_;
   BackingStore store_;
   MemStats stats_;
+  std::vector<LineAddr> spec_scratch_;  // reused by invalidate_speculative
 };
 
 }  // namespace suvtm::mem

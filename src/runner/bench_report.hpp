@@ -1,0 +1,56 @@
+// Machine-readable bench output: every bench harness, besides its human
+// tables, writes a flat BENCH_<name>.json with the numbers CI and plotting
+// scripts care about (wall time, jobs used, events/sec, headline metrics).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace suvtm::runner {
+
+/// Wall-clock stopwatch for bench harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Ordered key -> scalar map rendered as one flat JSON object.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double v);
+  void set(const std::string& key, std::uint64_t v);
+  void set(const std::string& key, std::int64_t v);
+  void set(const std::string& key, unsigned v) {
+    set(key, static_cast<std::uint64_t>(v));
+  }
+  void set(const std::string& key, const std::string& v);
+
+  std::string to_json() const;
+
+  /// Write BENCH_<name>.json into `dir`; prints the path on success.
+  bool write(const std::string& dir = ".") const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string json_value;  // pre-rendered
+  };
+  void put(const std::string& key, std::string json_value);
+
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace suvtm::runner

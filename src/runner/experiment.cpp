@@ -19,6 +19,7 @@ RunResult run_app(stamp::AppId app, const sim::SimConfig& cfg,
   r.app = stamp::app_name(app);
   r.scheme = cfg.scheme;
   r.makespan = sim.makespan();
+  r.sim_events = sim.scheduler().events_processed();
   r.breakdown = sim.total_breakdown();
   r.htm = sim.htm().stats();
   r.conflicts = sim.htm().conflicts().stats();
@@ -44,16 +45,35 @@ RunResult run_app(stamp::AppId app, const sim::SimConfig& cfg,
   return r;
 }
 
+std::vector<RunResult> run_matrix(const std::vector<RunPoint>& points,
+                                  ParallelExecutor& exec) {
+  std::vector<RunResult> out(points.size());
+  exec.run_indexed(points.size(), [&](std::size_t i) {
+    out[i] = run_app(points[i].app, points[i].cfg, points[i].params);
+  });
+  return out;
+}
+
+std::vector<RunResult> run_matrix(const std::vector<RunPoint>& points) {
+  return run_matrix(points, default_executor());
+}
+
 std::vector<RunResult> run_suite(sim::Scheme scheme, const sim::SimConfig& base,
-                                 const stamp::SuiteParams& params) {
+                                 const stamp::SuiteParams& params,
+                                 ParallelExecutor& exec) {
   sim::SimConfig cfg = base;
   cfg.scheme = scheme;
-  std::vector<RunResult> out;
-  out.reserve(stamp::all_apps().size());
+  std::vector<RunPoint> points;
+  points.reserve(stamp::all_apps().size());
   for (stamp::AppId app : stamp::all_apps()) {
-    out.push_back(run_app(app, cfg, params));
+    points.push_back(RunPoint{app, cfg, params});
   }
-  return out;
+  return run_matrix(points, exec);
+}
+
+std::vector<RunResult> run_suite(sim::Scheme scheme, const sim::SimConfig& base,
+                                 const stamp::SuiteParams& params) {
+  return run_suite(scheme, base, params, default_executor());
 }
 
 double geomean_speedup(const std::vector<RunResult>& base,

@@ -1,6 +1,8 @@
 // Experiment harness: runs one STAMP-like application under one
 // version-management scheme and collects everything the paper's tables and
-// figures report.
+// figures report. Suites and config sweeps fan out across host cores via
+// runner/parallel.hpp; every run is an isolated Simulator, so results are
+// bit-identical at any jobs count.
 #pragma once
 
 #include <string>
@@ -10,6 +12,7 @@
 #include "htm/htm_system.hpp"
 #include "htm/version_manager.hpp"
 #include "mem/memory_system.hpp"
+#include "runner/parallel.hpp"
 #include "sim/breakdown.hpp"
 #include "sim/config.hpp"
 #include "stamp/framework.hpp"
@@ -23,6 +26,7 @@ struct RunResult {
   std::string app;
   sim::Scheme scheme{};
   Cycle makespan = 0;
+  std::uint64_t sim_events = 0;  // scheduler events processed by this run
   sim::Breakdown breakdown;  // aggregated over cores
   htm::HtmStats htm;
   htm::ConflictStats conflicts;
@@ -39,13 +43,34 @@ struct RunResult {
   // DynTM-specific (valid when has_dyntm).
   bool has_dyntm = false;
   vm::DynTmStats dyntm;
+
+  /// Field-for-field equality; the determinism tests rely on this covering
+  /// every stats struct.
+  bool operator==(const RunResult&) const = default;
+};
+
+/// One point of an experiment cross-product.
+struct RunPoint {
+  stamp::AppId app{};
+  sim::SimConfig cfg;
+  stamp::SuiteParams params;
 };
 
 /// Run `app` under `cfg`, verify workload invariants, and harvest stats.
 RunResult run_app(stamp::AppId app, const sim::SimConfig& cfg,
                   const stamp::SuiteParams& params);
 
-/// Run every STAMP app under one scheme.
+/// Run every point, fanned across `exec`, results in submission order.
+std::vector<RunResult> run_matrix(const std::vector<RunPoint>& points,
+                                  ParallelExecutor& exec);
+/// Same, on the process-wide default executor.
+std::vector<RunResult> run_matrix(const std::vector<RunPoint>& points);
+
+/// Run every STAMP app under one scheme, fanned across `exec`.
+std::vector<RunResult> run_suite(sim::Scheme scheme, const sim::SimConfig& base,
+                                 const stamp::SuiteParams& params,
+                                 ParallelExecutor& exec);
+/// Same, on the process-wide default executor.
 std::vector<RunResult> run_suite(sim::Scheme scheme, const sim::SimConfig& base,
                                  const stamp::SuiteParams& params);
 

@@ -36,6 +36,7 @@ class Breakdown {
   Cycle total() const;
   Breakdown& operator+=(const Breakdown& o);
   void reset() { cycles_.fill(0); }
+  bool operator==(const Breakdown&) const = default;
 
  private:
   std::array<Cycle, kNumBuckets> cycles_{};

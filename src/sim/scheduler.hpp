@@ -3,16 +3,25 @@
 // Single-threaded by design: determinism and reproducibility matter more for
 // an architecture simulator than host-level parallelism, and it keeps the
 // entire coherence/HTM state machine free of host synchronization. Ties are
-// broken by insertion order.
+// broken by insertion order. (Host-level parallelism lives one layer up: the
+// runner fans independent Simulator instances across cores, see
+// runner/parallel.hpp.)
+//
+// Hot-path notes: the event queue is a hand-rolled binary min-heap over
+// flat POD keys (cycle, insertion seq, callback slot). Callbacks live in a
+// parallel free-listed slot pool as SmallFn -- a move-only small-buffer
+// callable -- so the common 16-to-24-byte coroutine resumption never
+// touches the allocator, heap sifts shuffle 24-byte trivially-copyable
+// keys instead of type-erased callables, and popping moves the callback
+// out (std::priority_queue's const top() would force a copy before pop()).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/small_fn.hpp"
 
 namespace suvtm::sim {
 
@@ -22,10 +31,10 @@ class Scheduler {
   Cycle now() const { return now_; }
 
   /// Run `fn` at absolute cycle `t` (>= now).
-  void at(Cycle t, std::function<void()> fn);
+  void at(Cycle t, SmallFn fn);
 
   /// Run `fn` `delay` cycles from now.
-  void after(Cycle delay, std::function<void()> fn) { at(now_ + delay, std::move(fn)); }
+  void after(Cycle delay, SmallFn fn) { at(now_ + delay, std::move(fn)); }
 
   /// Resume a coroutine `delay` cycles from now.
   void resume_after(Cycle delay, std::coroutine_handle<> h) {
@@ -36,25 +45,33 @@ class Scheduler {
   /// Returns false if the limit was hit with events still pending.
   bool run(Cycle limit);
 
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
   std::uint64_t events_processed() const { return events_; }
 
  private:
-  struct Event {
+  struct Key {
     Cycle t;
     std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    std::uint32_t slot;  // index into slots_
+
+    bool before(const Key& o) const {
+      return t != o.t ? t < o.t : seq < o.seq;
     }
   };
+  static_assert(sizeof(Key) <= 24, "heap keys must stay small PODs");
+
+  /// Place `k` into the heap starting the upward search at hole `i`
+  /// (the freshly appended last element).
+  void sift_up(std::size_t i, Key k);
+  /// Pop the minimum key (heap must be non-empty).
+  Key pop_min();
 
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Key> heap_;       // binary min-heap by (t, seq)
+  std::vector<SmallFn> slots_;  // parked callbacks, indexed by Key::slot
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace suvtm::sim

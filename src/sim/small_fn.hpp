@@ -1,0 +1,103 @@
+// SmallFn: a move-only `void()` callable with inline small-buffer storage.
+//
+// The event scheduler fires tens of millions of callbacks per simulation and
+// nearly all of them are tiny coroutine resumptions (a handle, sometimes a
+// `this` pointer and a flag -- 8..24 bytes). `std::function` pessimizes this
+// hot path twice: it must be copyable (so popping a priority_queue copies the
+// erased-type state) and its inline buffer is implementation-defined. SmallFn
+// guarantees: no allocation for callables up to kInlineBytes, move-only
+// semantics (so the heap can shuffle events with plain moves), and a single
+// indirect call to invoke.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace suvtm::sim {
+
+class SmallFn {
+ public:
+  /// Inline capacity. Sized for the largest scheduler lambda
+  /// ([this, &aw, h] = 24 bytes) with headroom for test code that schedules
+  /// a std::function or a fat capture; larger callables fall back to the
+  /// heap transparently.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+
+  template <class F,
+            class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, D&>, "SmallFn requires void()");
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      // Heap fallback: the buffer holds a single owning pointer.
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_) ops_->relocate(buf_, o.buf_);
+    o.ops_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      if (ops_) ops_->destroy(buf_);
+      ops_ = o.ops_;
+      if (ops_) ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() {
+    if (ops_) ops_->destroy(buf_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->call(buf_); }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    /// Move-construct into `dst` from `src`, then destroy `src`'s object.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <class D>
+  static constexpr Ops inline_ops{
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* dst, void* src) {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); }};
+
+  template <class D>
+  static constexpr Ops heap_ops{
+      [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); }};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace suvtm::sim

@@ -39,6 +39,8 @@ struct TableStats {
   std::uint64_t l1_overflow_entries = 0;  // transient entries spilled to L2
   std::uint64_t l2_evictions = 0;         // entries swapped to memory
 
+  bool operator==(const TableStats&) const = default;
+
   double l1_miss_rate() const {
     const double looked = static_cast<double>(l1_hits + l1_misses);
     return looked == 0.0 ? 0.0 : static_cast<double>(l1_misses) / looked;

@@ -69,6 +69,8 @@ struct DynTmStats {
   std::uint64_t lazy_txns = 0;
   std::uint64_t lazy_commit_dooms = 0;  // victims of committer-wins
   std::uint64_t redo_overflows = 0;     // lazy write buffer exceeded the L1
+
+  bool operator==(const DynTmStats&) const = default;
 };
 
 class DynTm final : public htm::VersionManager {

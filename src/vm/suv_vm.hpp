@@ -28,6 +28,8 @@ struct SuvVmStats {
   std::uint64_t entries_discarded = 0;   // transient removed at abort
   std::uint64_t entries_reverted = 0;    // toggle rolled back to global
   std::uint64_t table_overflow_txns = 0; // txns whose entries spilled the L1 table
+
+  bool operator==(const SuvVmStats&) const = default;
 };
 
 class SuvVm final : public htm::VersionManager {
