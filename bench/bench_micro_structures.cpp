@@ -4,21 +4,36 @@
 // own performance -- full-suite experiment time is dominated by exactly
 // these operations.
 //
-// Besides the google-benchmark suite, main() runs a fixed head-to-head of
-// the current scheduler (move-friendly binary heap + SmallFn callbacks)
-// against the seed implementation (std::priority_queue of std::function
-// events, copy on every pop) and writes the events/sec of both to
-// BENCH_micro_structures.json.
+// Besides the google-benchmark suite, main() runs fixed head-to-heads and
+// writes them to BENCH_micro_structures.json:
+//   - the current scheduler (move-friendly binary heap + SmallFn callbacks)
+//     vs the seed implementation (std::priority_queue of std::function);
+//   - the flat containers (LineSet / FlatMap) vs the node-based
+//     std::unordered_set/map they replaced, on footprint- and
+//     redo-log-shaped churn;
+//   - an end-to-end events/sec number: the bench_scaling part-1 matrix
+//     (scheme x app, 16 simulated cores, scale 0.5) run serially in-process.
+//
+// Usage: bench_micro_structures [gbench args] [--baseline-events-per-sec X]
+//   X is the events_per_sec_jobs1 reported by a main-built bench_scaling on
+//   this host (BENCH_scaling.json); when given, the report also records the
+//   end-to-end speedup of this build over that baseline.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <queue>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "common/flat_hash.hpp"
 #include "common/rng.hpp"
 #include "htm/signature.hpp"
 #include "mem/cache.hpp"
 #include "runner/bench_report.hpp"
+#include "runner/experiment.hpp"
 #include "sim/config.hpp"
 #include "sim/scheduler.hpp"
 #include "suv/redirect_table.hpp"
@@ -100,6 +115,61 @@ std::uint64_t scheduler_churn(std::uint64_t target_events) {
   s.run(~Cycle{0});
   return processed;
 }
+
+// Transaction-footprint churn, shaped like one txn attempt in the VM hot
+// path (paper Table IV: write sets of tens of lines, reads outnumbering
+// writes ~2:1, every access membership-probing both sets): build a 40-line
+// write set and an 80-access read set with duplicate hits, then clear.
+// Works on LineSet and std::unordered_set<LineAddr> alike.
+template <class Set>
+std::uint64_t footprint_churn(std::uint64_t rounds) {
+  Set reads, writes;
+  std::uint64_t x = 0x243f6a8885a308d3ull;
+  std::uint64_t acc = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 40; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      const LineAddr l = (x >> 12) & 0x3ff;  // 1K-line region -> some dups
+      acc += writes.contains(l);
+      writes.insert(l);
+      for (int j = 0; j < 2; ++j) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const LineAddr rl = (x >> 12) & 0x3ff;
+        acc += reads.contains(rl) + writes.contains(rl);
+        reads.insert(rl);
+      }
+    }
+    reads.clear();
+    writes.clear();
+  }
+  return acc;
+}
+// insert+contains ops per round of the loop above (40 + 80 inserts,
+// 40 + 160 membership probes).
+constexpr std::uint64_t kFootprintOpsPerRound = 320;
+
+// Redo-log / page-map churn: try_emplace-or-overwrite plus lookups over a
+// 1K-key working set, cleared per round (commit/abort). Works on
+// FlatMap<u64,u64> and std::unordered_map<u64,u64> alike.
+template <class Map>
+std::uint64_t map_churn(std::uint64_t rounds) {
+  Map m;
+  std::uint64_t x = 0x452821e638d01377ull;
+  std::uint64_t acc = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 64; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      auto [it, inserted] = m.try_emplace((x >> 20) & 0x3ff, x);
+      if (!inserted) it->second = x;
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      auto f = m.find((x >> 20) & 0x3ff);
+      if (f != m.end()) acc += f->second;
+    }
+    m.clear();
+  }
+  return acc;
+}
+constexpr std::uint64_t kMapOpsPerRound = 128;
 
 void BM_SignatureAdd(benchmark::State& state) {
   htm::Signature sig(2048, 2);
@@ -186,6 +256,45 @@ void BM_CacheInsertEvict(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheInsertEvict);
 
+void BM_FootprintChurnFlat(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(footprint_churn<LineSet>(100));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100 *
+                          static_cast<std::int64_t>(kFootprintOpsPerRound));
+}
+BENCHMARK(BM_FootprintChurnFlat);
+
+void BM_FootprintChurnNode(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        footprint_churn<std::unordered_set<LineAddr>>(100));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100 *
+                          static_cast<std::int64_t>(kFootprintOpsPerRound));
+}
+BENCHMARK(BM_FootprintChurnNode);
+
+void BM_MapChurnFlat(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map_churn<FlatMap<std::uint64_t, std::uint64_t>>(100));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100 *
+                          static_cast<std::int64_t>(kMapOpsPerRound));
+}
+BENCHMARK(BM_MapChurnFlat);
+
+void BM_MapChurnNode(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map_churn<std::unordered_map<std::uint64_t, std::uint64_t>>(100));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100 *
+                          static_cast<std::int64_t>(kMapOpsPerRound));
+}
+BENCHMARK(BM_MapChurnNode);
+
 void BM_SchedulerEventChurn(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheduler_churn<sim::Scheduler>(100000));
@@ -206,7 +315,7 @@ BENCHMARK(BM_SchedulerEventChurnLegacy);
 
 /// Fixed head-to-head for the JSON report: events/sec through each
 /// scheduler implementation on the identical churn workload.
-void write_scheduler_report() {
+void scheduler_report(runner::BenchReport& report) {
   constexpr std::uint64_t kEvents = 2'000'000;
   // Warm both allocators/caches once before timing.
   scheduler_churn<sim::Scheduler>(kEvents / 10);
@@ -230,21 +339,115 @@ void write_scheduler_report() {
               static_cast<unsigned long long>(kEvents), eps_new, eps_old,
               ratio);
 
-  runner::BenchReport report("micro_structures");
   report.set("scheduler_events", kEvents);
   report.set("events_per_sec_smallfn_heap", eps_new);
   report.set("events_per_sec_legacy_stdfunction", eps_old);
   report.set("scheduler_speedup", ratio);
-  report.write();
+}
+
+/// Fixed flat-vs-node container head-to-heads on the same churn workloads
+/// the google-benchmark rows measure.
+void container_report(runner::BenchReport& report) {
+  constexpr std::uint64_t kRounds = 20'000;
+  struct Row {
+    const char* name;
+    std::uint64_t ops_per_round;
+    std::uint64_t (*flat)(std::uint64_t);
+    std::uint64_t (*node)(std::uint64_t);
+  };
+  const Row rows[] = {
+      {"footprint", kFootprintOpsPerRound, footprint_churn<LineSet>,
+       footprint_churn<std::unordered_set<LineAddr>>},
+      {"map", kMapOpsPerRound,
+       map_churn<FlatMap<std::uint64_t, std::uint64_t>>,
+       map_churn<std::unordered_map<std::uint64_t, std::uint64_t>>},
+  };
+  std::printf("\ncontainer head-to-heads (%llu rounds each):\n",
+              static_cast<unsigned long long>(kRounds));
+  for (const Row& row : rows) {
+    row.flat(kRounds / 10);  // warm allocators/caches before timing
+    row.node(kRounds / 10);
+    runner::WallTimer tf;
+    benchmark::DoNotOptimize(row.flat(kRounds));
+    const double sf = tf.seconds();
+    runner::WallTimer tn;
+    benchmark::DoNotOptimize(row.node(kRounds));
+    const double sn = tn.seconds();
+    const double total = static_cast<double>(kRounds * row.ops_per_round);
+    const double ops_flat = sf > 0 ? total / sf : 0.0;
+    const double ops_node = sn > 0 ? total / sn : 0.0;
+    const double ratio = ops_node > 0 ? ops_flat / ops_node : 0.0;
+    std::printf("  %-9s: flat %12.0f ops/s   node %12.0f ops/s   %.2fx\n",
+                row.name, ops_flat, ops_node, ratio);
+    report.set(std::string(row.name) + "_ops_per_sec_flat", ops_flat);
+    report.set(std::string(row.name) + "_ops_per_sec_node", ops_node);
+    report.set(std::string(row.name) + "_container_speedup", ratio);
+  }
+}
+
+/// End-to-end events/sec: the bench_scaling part-1 matrix (scheme x app,
+/// 16 simulated cores, scale 0.5 -- the default config) run serially in
+/// this process. `baseline_eps`, when > 0, is the same number measured from
+/// a main-built bench_scaling; the ratio lands in the report.
+void end_to_end_report(runner::BenchReport& report, double baseline_eps) {
+  stamp::SuiteParams params;
+  params.scale = 0.5;
+  std::vector<runner::RunPoint> points;
+  for (sim::Scheme s : {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
+                        sim::Scheme::kSuv}) {
+    sim::SimConfig cfg;
+    cfg.scheme = s;
+    cfg.mem.num_cores = 16;
+    for (stamp::AppId app : stamp::all_apps()) {
+      points.push_back(runner::RunPoint{app, cfg, params});
+    }
+  }
+  runner::ParallelExecutor serial(1);
+  runner::run_matrix(points, serial);  // warm
+  runner::WallTimer t;
+  const auto results = runner::run_matrix(points, serial);
+  const double s = t.seconds();
+  std::uint64_t events = 0;
+  for (const auto& r : results) events += r.sim_events;
+  const double eps = s > 0 ? static_cast<double>(events) / s : 0.0;
+  std::printf("\nend-to-end (scheme x app matrix, 16 cores, scale 0.5):\n"
+              "  %zu runs, %llu events in %.2f s -> %.0f events/s\n",
+              points.size(), static_cast<unsigned long long>(events), s, eps);
+  report.set("end_to_end_sweep_runs",
+             static_cast<std::uint64_t>(points.size()));
+  report.set("end_to_end_sim_events", events);
+  report.set("end_to_end_events_per_sec", eps);
+  if (baseline_eps > 0) {
+    const double speedup = eps / baseline_eps;
+    std::printf("  main baseline %.0f events/s -> %.2fx\n", baseline_eps,
+                speedup);
+    report.set("baseline_main_events_per_sec", baseline_eps);
+    report.set("end_to_end_speedup_vs_main", speedup);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip our own flag before google-benchmark sees (and rejects) it.
+  double baseline_eps = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline-events-per-sec") == 0 &&
+        i + 1 < argc) {
+      baseline_eps = std::atof(argv[i + 1]);
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_scheduler_report();
+  runner::BenchReport report("micro_structures");
+  scheduler_report(report);
+  container_report(report);
+  end_to_end_report(report, baseline_eps);
+  report.write();
   return 0;
 }

@@ -10,8 +10,9 @@
 // BENCH_scaling.json.
 //
 // Usage: bench_scaling [scale] [--jobs N] [--smoke]
-//   --smoke: tiny scale + identity check only; exits non-zero on mismatch
-//            (used as the ctest parallel smoke target).
+//   --smoke: tiny scale, identity check plus a seed-shape audit of every
+//            RunResult field block; exits non-zero on any violation (used
+//            as the ctest parallel smoke target).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +45,45 @@ std::uint64_t total_events(const std::vector<runner::RunResult>& rs) {
   std::uint64_t n = 0;
   for (const auto& r : rs) n += r.sim_events;
   return n;
+}
+
+/// Seed-shape audit for the smoke target: beyond bit-identity, every
+/// RunResult must look like a completed simulation the way the seed
+/// produced them -- named app, events and cycles consumed, every begun
+/// txn resolved, memory traffic present, and the scheme-specific stat
+/// blocks present exactly when their scheme ran. Returns the number of
+/// violations (0 = shape OK), printing each one.
+int check_seed_shape(const std::vector<runner::RunPoint>& points,
+                     const std::vector<runner::RunResult>& rs) {
+  int bad = 0;
+  auto fail = [&bad](std::size_t i, const char* what) {
+    std::fprintf(stderr, "  shape violation at run %zu: %s\n", i, what);
+    ++bad;
+  };
+  if (points.size() != rs.size()) {
+    std::fprintf(stderr, "  shape violation: %zu results for %zu points\n",
+                 rs.size(), points.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    if (r.app.empty()) fail(i, "empty app name");
+    if (r.scheme != points[i].cfg.scheme) fail(i, "scheme mismatch");
+    if (r.sim_events == 0) fail(i, "no scheduler events");
+    if (r.makespan == 0) fail(i, "zero makespan");
+    if (r.htm.begins == 0) fail(i, "no transactions ran");
+    if (r.htm.begins != r.htm.commits + r.htm.aborts) {
+      fail(i, "unresolved txn attempts (begins != commits + aborts)");
+    }
+    if (r.mem.l1_hits + r.mem.l1_misses == 0) fail(i, "no L1 traffic");
+    const bool is_suv = points[i].cfg.scheme == sim::Scheme::kSuv;
+    if (r.has_suv != is_suv) fail(i, "has_suv does not match scheme");
+    if (is_suv && r.suv.entries_created == 0 && r.table.lookups == 0) {
+      fail(i, "SUV ran but its redirect machinery never engaged");
+    }
+    if (r.has_dyntm) fail(i, "has_dyntm set for a non-DynTM sweep");
+  }
+  return bad;
 }
 
 }  // namespace
@@ -108,12 +148,20 @@ int main(int argc, char** argv) {
   report.set("bit_identical", static_cast<std::uint64_t>(identical ? 1 : 0));
 
   if (smoke) {
+    const int shape_violations = check_seed_shape(points, pool_results);
+    report.set("shape_violations",
+               static_cast<std::uint64_t>(shape_violations));
     report.write();
     if (!identical) {
       std::fprintf(stderr, "FAIL: parallel results differ from serial\n");
       return 1;
     }
-    std::printf("smoke OK\n");
+    if (shape_violations != 0) {
+      std::fprintf(stderr, "FAIL: %d RunResult shape violations\n",
+                   shape_violations);
+      return 1;
+    }
+    std::printf("smoke OK (bit-identical, seed-shape fields intact)\n");
     return 0;
   }
 

@@ -1,12 +1,15 @@
 #include "htm/conflict_manager.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace suvtm::htm {
 
 ConflictManager::ConflictManager(std::uint32_t num_cores,
                                  sim::ConflictPolicy policy)
-    : waits_for_(num_cores, kNoCore), policy_(policy) {}
+    : waits_for_(num_cores, kNoCore), policy_(policy) {
+  assert(num_cores <= 64 && "isolation mask is a 64-bit word");
+}
 
 bool ConflictManager::reaches(CoreId start, CoreId target) const {
   CoreId cur = start;
@@ -25,11 +28,15 @@ ConflictManager::Decision ConflictManager::check(CoreId core, LineAddr line,
                                                  bool requester_lazy,
                                                  const std::vector<Txn*>& txns) {
   const Txn* self = txns[core];
+  const std::uint64_t lm = Signature::mix(line);  // shared by every probe
   CoreId holder = kNoCore;
   bool exact = false;
   Decision d;
-  for (CoreId c = 0; c < txns.size(); ++c) {
-    if (c == core) continue;
+  // Scan only cores whose transaction holds isolation (bit iteration walks
+  // cores in increasing order, matching the old full loop's tie-breaking).
+  for (std::uint64_t m = isolation_mask_ & ~(1ull << core); m != 0;
+       m &= m - 1) {
+    const CoreId c = static_cast<CoreId>(std::countr_zero(m));
     const Txn* t = txns[c];
     if (!t || !t->holds_isolation()) continue;
     const bool holder_lazy_running =
@@ -41,20 +48,20 @@ ConflictManager::Decision ConflictManager::check(CoreId core, LineAddr line,
       // conflicts are eager against a running lazy transaction. A write to a
       // line the lazy transaction merely READ invalidates its cached copy,
       // which aborts it (it cannot revalidate its read set).
-      hit = is_write && t->write_sig.test(line);
+      hit = is_write && t->write_sig.test_mixed(lm);
       check_read_sig = false;
-      if (!hit && is_write && t->read_sig.test(line)) {
+      if (!hit && is_write && t->read_sig.test_mixed(lm)) {
         d.invalidated_lazy_readers.push_back(c);
         continue;
       }
     } else if (requester_lazy) {
       // A lazy requester never blocks on readers; uncommitted in-place or
       // publishing write sets must still NACK it.
-      hit = t->write_sig.test(line);
+      hit = t->write_sig.test_mixed(lm);
       check_read_sig = false;
     } else {
-      hit = is_write ? (t->read_sig.test(line) || t->write_sig.test(line))
-                     : t->write_sig.test(line);
+      hit = is_write ? (t->read_sig.test_mixed(lm) || t->write_sig.test_mixed(lm))
+                     : t->write_sig.test_mixed(lm);
       check_read_sig = is_write;
     }
     if (!hit) continue;
@@ -67,8 +74,8 @@ ConflictManager::Decision ConflictManager::check(CoreId core, LineAddr line,
     // Check the suspended-transaction summaries (descheduled transactions
     // still hold isolation; their sets live in the per-core summary).
     const bool susp_hit =
-        (is_write && suspended_reads_ && suspended_reads_->test(line)) ||
-        (suspended_writes_ && suspended_writes_->test(line));
+        (is_write && suspended_reads_ && suspended_reads_->test_mixed(lm)) ||
+        (suspended_writes_ && suspended_writes_->test_mixed(lm));
     if (susp_hit) {
       ++stats_.conflicts;
       ++stats_.suspended_stalls;

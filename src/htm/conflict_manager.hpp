@@ -66,6 +66,17 @@ class ConflictManager {
   Decision check(CoreId core, LineAddr line, bool is_write, bool requester_lazy,
                  const std::vector<Txn*>& txns);
 
+  /// Callers must report every isolation transition (a core's txn going
+  /// kIdle <-> non-idle) here. check() scans only the cores with their bit
+  /// set instead of every core per access -- most accesses happen while few
+  /// transactions are live, so this is the difference between O(active) and
+  /// O(cores) on the hottest path in the simulator.
+  void set_isolation(CoreId core, bool held) {
+    const std::uint64_t bit = 1ull << core;
+    if (held) isolation_mask_ |= bit;
+    else isolation_mask_ &= ~bit;
+  }
+
   /// The requester's access succeeded or its transaction ended: drop its
   /// wait-for edge.
   void clear_wait(CoreId core);
@@ -86,6 +97,7 @@ class ConflictManager {
   bool reaches(CoreId start, CoreId target) const;
 
   std::vector<CoreId> waits_for_;  // kNoCore if not waiting
+  std::uint64_t isolation_mask_ = 0;  // cores whose txn holds isolation
   sim::ConflictPolicy policy_;
   const Signature* suspended_reads_ = nullptr;
   const Signature* suspended_writes_ = nullptr;

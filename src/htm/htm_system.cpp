@@ -41,6 +41,7 @@ bool HtmSystem::suspend_txn(CoreId core) {
   if (t.state != TxnState::kRunning) return false;
   suspended_.push_back({core, t});
   t.reset_committed();  // fresh descriptor for the next scheduled thread
+  conflicts_.set_isolation(core, false);
   rebuild_suspended_summary();
   return true;
 }
@@ -49,7 +50,8 @@ bool HtmSystem::resume_txn(CoreId core) {
   if (txns_[core]->active()) return false;
   for (auto it = suspended_.begin(); it != suspended_.end(); ++it) {
     if (it->core == core) {
-      *txns_[core] = it->txn;
+      *txns_[core] = it->txn;  // saved state was kRunning: isolation resumes
+      conflicts_.set_isolation(core, true);
       suspended_.erase(it);
       rebuild_suspended_summary();
       return true;

@@ -3,17 +3,9 @@
 #include <bit>
 #include <cassert>
 
-namespace suvtm::htm {
+#include "common/flat_hash.hpp"
 
-namespace {
-// Distinct odd multipliers per hash index (Knuth-style multiplicative
-// hashing); combined with a final xor-shift for avalanche.
-constexpr std::uint64_t kMul[8] = {
-    0x9e3779b97f4a7c15ull, 0xc2b2ae3d27d4eb4full, 0x165667b19e3779f9ull,
-    0x27d4eb2f165667c5ull, 0x85ebca77c2b2ae63ull, 0xff51afd7ed558ccdull,
-    0xc4ceb9fe1a85ec53ull, 0x2545f4914f6cdd1dull,
-};
-}  // namespace
+namespace suvtm::htm {
 
 Signature::Signature(std::uint32_t bits, std::uint32_t hashes)
     : bits_(bits), k_(hashes), words_((bits + 63) / 64, 0) {
@@ -22,28 +14,13 @@ Signature::Signature(std::uint32_t bits, std::uint32_t hashes)
 }
 
 std::uint32_t Signature::hash(LineAddr l, std::uint32_t i, std::uint32_t bits) {
-  std::uint64_t x = l * kMul[i & 7];
-  x ^= x >> 29;
-  x *= 0xbf58476d1ce4e5b9ull;
-  x ^= x >> 32;
-  return static_cast<std::uint32_t>(x & (bits - 1));
-}
-
-void Signature::add(LineAddr l) {
-  for (std::uint32_t i = 0; i < k_; ++i) {
-    const std::uint32_t b = hash(l, i, bits_);
-    words_[b >> 6] |= 1ull << (b & 63);
-  }
-  ++adds_;
-}
-
-bool Signature::test(LineAddr l) const {
-  if (adds_ == 0) return false;
-  for (std::uint32_t i = 0; i < k_; ++i) {
-    const std::uint32_t b = hash(l, i, bits_);
-    if (!((words_[b >> 6] >> (b & 63)) & 1ull)) return false;
-  }
-  return true;
+  // Double hashing (Kirsch-Mitzenheimer): index_i = h1 + i*h2 mod bits. The
+  // step is forced odd, so with power-of-two `bits` the k indices are
+  // pairwise distinct -- the filter genuinely sets k bits per add.
+  const std::uint64_t m = mix(l);
+  const std::uint32_t h1 = static_cast<std::uint32_t>(m);
+  const std::uint32_t h2 = static_cast<std::uint32_t>(m >> 32) | 1u;
+  return (h1 + i * h2) & (bits - 1);
 }
 
 void Signature::clear() {

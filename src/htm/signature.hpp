@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 
 namespace suvtm::htm {
@@ -16,8 +17,33 @@ class Signature {
  public:
   Signature(std::uint32_t bits, std::uint32_t hashes);
 
-  void add(LineAddr l);
-  bool test(LineAddr l) const;
+  // add/test/test_mixed are defined inline: they run hundreds of millions
+  // of times per experiment sweep and an out-of-line call costs more than
+  // the probe itself.
+  void add(LineAddr l) {
+    const std::uint64_t m = mix(l);
+    std::uint32_t b = static_cast<std::uint32_t>(m);
+    const std::uint32_t step = static_cast<std::uint32_t>(m >> 32) | 1u;
+    for (std::uint32_t i = 0; i < k_; ++i, b += step) {
+      const std::uint32_t idx = b & (bits_ - 1);
+      words_[idx >> 6] |= 1ull << (idx & 63);
+    }
+    ++adds_;
+  }
+  bool test(LineAddr l) const { return test_mixed(mix(l)); }
+  /// test() with the line's mix precomputed. The conflict check probes many
+  /// signatures with the same line; computing the mix once there pays the
+  /// multiply-avalanche per access instead of per signature.
+  bool test_mixed(std::uint64_t m) const {
+    if (adds_ == 0) return false;
+    std::uint32_t b = static_cast<std::uint32_t>(m);
+    const std::uint32_t step = static_cast<std::uint32_t>(m >> 32) | 1u;
+    for (std::uint32_t i = 0; i < k_; ++i, b += step) {
+      const std::uint32_t idx = b & (bits_ - 1);
+      if (!((words_[idx >> 6] >> (idx & 63)) & 1ull)) return false;
+    }
+    return true;
+  }
   void clear();
 
   bool empty() const { return adds_ == 0; }
@@ -27,8 +53,16 @@ class Signature {
   /// Number of set bits (occupancy; used in tests and saturation stats).
   std::uint32_t popcount() const;
 
-  /// H3-style hash family: hash `i` of line `l` into [0, bits).
+  /// Hash `i` of line `l` into [0, bits). Derived from one mix via double
+  /// hashing, so add/test pay a single 64-bit multiply-mix regardless of k;
+  /// the per-i form exists for tests and the summary signature's bit math.
   static std::uint32_t hash(LineAddr l, std::uint32_t i, std::uint32_t bits);
+
+  /// The shared 64-bit mix all indices derive from.
+  static std::uint64_t mix(LineAddr l) {
+    // One full-avalanche mix; all k filter indices derive from it.
+    return hash_mix64(l * 0x9e3779b97f4a7c15ull);
+  }
 
   /// True if any line could be in both signatures (bitwise AND non-empty is
   /// NOT the membership test -- this is only used for diagnostics).

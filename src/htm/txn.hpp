@@ -2,11 +2,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 #include "htm/signature.hpp"
 
@@ -53,16 +52,18 @@ struct Txn {
 
   /// Exact sets, kept alongside the signatures for statistics (false-conflict
   /// measurement) and for per-line version-management bookkeeping.
-  std::unordered_set<LineAddr> read_lines;
-  std::unordered_set<LineAddr> write_lines;
+  /// Small-buffer-optimized and insertion-ordered (Table IV: typical
+  /// footprints are tens of lines); touched on every transactional access.
+  LineSet read_lines;
+  LineSet write_lines;
 
   /// Word-granularity undo log: (address, old value), in program order.
   /// LogTM-SE/FasTM functional rollback; SUV leaves it empty.
   std::vector<std::pair<Addr, std::uint64_t>> undo;
-  std::unordered_set<Addr> logged_words;
+  FlatSet<Addr> logged_words;
 
   /// Lazy-mode (DynTM) redo buffer: word address -> buffered new value.
-  std::unordered_map<Addr, std::uint64_t> redo;
+  FlatMap<Addr, std::uint64_t> redo;
 
   bool doomed = false;        // marked for abort by the conflict manager
   bool overflowed = false;    // speculative state left the L1 this attempt

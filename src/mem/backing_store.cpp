@@ -1,34 +1,43 @@
 #include "mem/backing_store.hpp"
 
+#include <algorithm>
+
 namespace suvtm::mem {
 
-BackingStore::Page& BackingStore::page_for(Addr a) {
-  auto& slot = pages_[page_of(a)];
-  if (!slot) slot = std::make_unique<Page>();
-  return *slot;
+BackingStore::Page& BackingStore::page_for_slow(Addr a) {
+  const std::uint64_t id = page_of(a);
+  auto [it, inserted] = pages_.try_emplace(id);
+  if (inserted) it->second = std::make_unique<Page>();
+  cached_id_ = id;
+  cached_page_ = it->second.get();
+  return *cached_page_;
 }
 
-const BackingStore::Page* BackingStore::page_for_const(Addr a) const {
-  auto it = pages_.find(page_of(a));
-  return it == pages_.end() ? nullptr : it->second.get();
-}
-
-std::uint64_t BackingStore::load(Addr a) const {
-  const Page* p = page_for_const(a);
-  if (!p) return 0;
-  return (*p)[(a % kPageBytes) / kWordBytes];
-}
-
-void BackingStore::store(Addr a, std::uint64_t v) {
-  page_for(a)[(a % kPageBytes) / kWordBytes] = v;
+const BackingStore::Page* BackingStore::page_for_const_slow(Addr a) const {
+  const std::uint64_t id = page_of(a);
+  auto it = pages_.find(id);
+  if (it == pages_.end()) return nullptr;
+  cached_id_ = id;
+  cached_page_ = it->second.get();
+  return cached_page_;
 }
 
 void BackingStore::copy_line(LineAddr src_line, LineAddr dst_line) {
+  if (src_line == dst_line) return;
   const Addr src = addr_of_line(src_line);
   const Addr dst = addr_of_line(dst_line);
-  for (std::uint32_t w = 0; w < kWordsPerLine; ++w) {
-    store(dst + w * kWordBytes, load(src + w * kWordBytes));
+  // One lookup per side instead of one per word. Take the source pointer
+  // first: creating the destination page may grow the map, but the source
+  // Page itself lives on the heap and stays put.
+  const Page* sp = page_for_const(src);
+  Page& dp = page_for(dst);
+  std::uint64_t* d = dp.data() + (dst % kPageBytes) / kWordBytes;
+  if (!sp) {
+    std::fill_n(d, kWordsPerLine, 0);
+    return;
   }
+  const std::uint64_t* s = sp->data() + (src % kPageBytes) / kWordBytes;
+  std::copy_n(s, kWordsPerLine, d);
 }
 
 }  // namespace suvtm::mem

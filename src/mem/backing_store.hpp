@@ -4,27 +4,42 @@
 // real 64-bit values so that transactional isolation/atomicity invariants can
 // be tested (and SUV's redirection machinery verified end-to-end, not just
 // timed). Storage is paged and allocated lazily; untouched memory reads 0.
+//
+// Pages are keyed in a flat open-addressing map, and the last page touched
+// is cached: consecutive words on one page (the overwhelmingly common
+// access pattern -- undo-log walks, line copies, sequential workload data)
+// skip the map entirely. Page payloads are heap-allocated, so the cached
+// pointer survives map growth.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 
 namespace suvtm::mem {
 
 class BackingStore {
  public:
-  /// Read the aligned 64-bit word containing `a`.
-  std::uint64_t load(Addr a) const;
+  /// Read the aligned 64-bit word containing `a`. Inline: every simulated
+  /// load/store lands here, and the last-page fast path is a compare plus
+  /// an indexed read.
+  std::uint64_t load(Addr a) const {
+    const Page* p = page_for_const(a);
+    if (!p) return 0;
+    return (*p)[(a % kPageBytes) / kWordBytes];
+  }
 
   /// Write the aligned 64-bit word containing `a`.
-  void store(Addr a, std::uint64_t v);
+  void store(Addr a, std::uint64_t v) {
+    page_for(a)[(a % kPageBytes) / kWordBytes] = v;
+  }
 
   /// Copy one 64-byte line worth of words from `src_line` to `dst_line`.
-  /// Used by SUV on (re)direction and FasTM functional modelling.
+  /// Used by SUV on (re)direction and FasTM functional modelling. Resolves
+  /// each page exactly once (a line never straddles a page boundary).
   void copy_line(LineAddr src_line, LineAddr dst_line);
 
   std::size_t pages_touched() const { return pages_.size(); }
@@ -33,10 +48,24 @@ class BackingStore {
   static constexpr std::size_t kWordsPerPage = kPageBytes / kWordBytes;
   using Page = std::array<std::uint64_t, kWordsPerPage>;
 
-  Page& page_for(Addr a);
-  const Page* page_for_const(Addr a) const;
+  Page& page_for(Addr a) {
+    const std::uint64_t id = page_of(a);
+    if (cached_page_ && cached_id_ == id) return *cached_page_;
+    return page_for_slow(a);
+  }
+  const Page* page_for_const(Addr a) const {
+    const std::uint64_t id = page_of(a);
+    if (cached_page_ && cached_id_ == id) return cached_page_;
+    return page_for_const_slow(a);
+  }
+  Page& page_for_slow(Addr a);
+  const Page* page_for_const_slow(Addr a) const;
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  FlatMap<std::uint64_t, std::unique_ptr<Page>> pages_;
+  // Last-page cache; pages are never freed, so the pointer can only go
+  // stale by pointing at a page that is still valid.
+  mutable std::uint64_t cached_id_ = 0;
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace suvtm::mem

@@ -18,38 +18,23 @@ Cache::Cache(std::uint32_t total_bytes, std::uint32_t assoc)
     : num_sets_(total_bytes / kLineBytes / assoc), assoc_(assoc) {
   assert(num_sets_ > 0 && std::has_single_bit(num_sets_) &&
          "cache sets must be a power of two");
-  sets_.resize(num_sets_);
-  for (auto& s : sets_) s.reserve(assoc_);
-}
-
-Cache::Line* Cache::find(LineAddr l) {
-  for (auto& ln : set_of(l)) {
-    if (ln.tag == l && ln.state != CohState::kInvalid) return &ln;
-  }
-  return nullptr;
-}
-
-const Cache::Line* Cache::find(LineAddr l) const {
-  for (const auto& ln : set_of(l)) {
-    if (ln.tag == l && ln.state != CohState::kInvalid) return &ln;
-  }
-  return nullptr;
+  line_count_ = std::size_t{num_sets_} * assoc_;
+  lines_.reset(static_cast<Line*>(std::calloc(line_count_, sizeof(Line))));
+  assert(lines_ && "cache line array allocation failed");
 }
 
 Cache::Victim Cache::insert(LineAddr l, CohState st) {
-  auto& set = set_of(l);
   if (Line* existing = find(l)) {
     existing->state = st;
     touch(*existing);
     return {};
   }
-  if (set.size() < assoc_) {
-    set.push_back(Line{l, st, ++tick_, false});
-    return {};
-  }
-  // Choose the LRU victim, preferring non-speculative lines.
+  Line* set = set_of(l);
+  // Choose the victim: first invalid way, else the LRU way, preferring
+  // non-speculative lines.
   Line* victim = nullptr;
-  for (auto& ln : set) {
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Line& ln = set[w];
     if (ln.state == CohState::kInvalid) {
       victim = &ln;
       break;
@@ -60,7 +45,8 @@ Cache::Victim Cache::insert(LineAddr l, CohState st) {
   if (!victim) {
     // Every way is speculative: FasTM overflow case -- evict LRU anyway and
     // report it so the version manager can degenerate.
-    for (auto& ln : set) {
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      Line& ln = set[w];
       if (!victim || ln.lru < victim->lru) victim = &ln;
     }
   }
@@ -80,9 +66,10 @@ void Cache::invalidate(LineAddr l) {
 }
 
 std::uint32_t Cache::set_occupancy(LineAddr l) const {
+  const Line* set = set_of(l);
   std::uint32_t n = 0;
-  for (const auto& ln : set_of(l)) {
-    if (ln.state != CohState::kInvalid) ++n;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].state != CohState::kInvalid) ++n;
   }
   return n;
 }

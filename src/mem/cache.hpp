@@ -7,7 +7,8 @@
 
 #include <cassert>
 #include <cstdint>
-#include <vector>
+#include <cstdlib>
+#include <memory>
 
 #include "common/types.hpp"
 
@@ -20,12 +21,18 @@ const char* coh_state_name(CohState s);
 
 class Cache {
  public:
+  /// Trivially default-constructible on purpose: a simulator run constructs
+  /// megabytes of L2 lines, and all-zero bytes ARE the invalid state
+  /// (kInvalid == 0), so vector growth is a memset instead of a per-element
+  /// constructor loop. Aggregate-initialize when building a real line.
   struct Line {
-    LineAddr tag = 0;        // full line address (simpler than tag bits)
-    CohState state = CohState::kInvalid;
-    std::uint64_t lru = 0;
-    bool speculative = false;  // FasTM SM bit
+    LineAddr tag;            // full line address (simpler than tag bits)
+    CohState state;          // kInvalid (== 0) when the way is empty
+    std::uint64_t lru;
+    bool speculative;        // FasTM SM bit
   };
+  static_assert(static_cast<int>(CohState::kInvalid) == 0,
+                "zero-initialized lines must read as invalid");
 
   struct Victim {
     bool valid = false;      // an eviction happened
@@ -43,8 +50,23 @@ class Cache {
   }
 
   /// Returns the line's entry if present (any valid state), else nullptr.
-  Line* find(LineAddr l);
-  const Line* find(LineAddr l) const;
+  /// Inline: this is the single most-called function in the memory system.
+  Line* find(LineAddr l) {
+    Line* set = set_of(l);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      Line& ln = set[w];
+      if (ln.tag == l && ln.state != CohState::kInvalid) return &ln;
+    }
+    return nullptr;
+  }
+  const Line* find(LineAddr l) const {
+    const Line* set = set_of(l);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      const Line& ln = set[w];
+      if (ln.tag == l && ln.state != CohState::kInvalid) return &ln;
+    }
+    return nullptr;
+  }
 
   /// Touch for LRU (call on every hit).
   void touch(Line& ln) { ln.lru = ++tick_; }
@@ -59,13 +81,13 @@ class Cache {
 
   /// Invoke `fn` for every valid line (e.g. flash-clear of SM bits).
   /// Templated (not std::function) so the L1 walks done on every
-  /// commit/abort inline the callback instead of an indirect call.
+  /// commit/abort inline the callback instead of an indirect call. One
+  /// linear sweep over the contiguous line array, set-major.
   template <class Fn>
   void for_each(Fn&& fn) {
-    for (auto& set : sets_) {
-      for (auto& ln : set) {
-        if (ln.state != CohState::kInvalid) fn(ln);
-      }
+    Line* const end = lines_.get() + line_count_;
+    for (Line* ln = lines_.get(); ln != end; ++ln) {
+      if (ln->state != CohState::kInvalid) fn(*ln);
     }
   }
 
@@ -73,13 +95,27 @@ class Cache {
   std::uint32_t set_occupancy(LineAddr l) const;
 
  private:
-  std::vector<Line>& set_of(LineAddr l) { return sets_[set_index(l)]; }
-  const std::vector<Line>& set_of(LineAddr l) const { return sets_[set_index(l)]; }
+  // All sets in one contiguous array, stride = assoc_: set s occupies
+  // [s*assoc_, (s+1)*assoc_). One allocation, no per-set vector headers,
+  // and a whole 4-way set of 24-byte lines spans at most two cache lines.
+  Line* set_of(LineAddr l) { return lines_.get() + std::size_t{set_index(l)} * assoc_; }
+  const Line* set_of(LineAddr l) const {
+    return lines_.get() + std::size_t{set_index(l)} * assoc_;
+  }
+
+  struct FreeDeleter {
+    void operator()(void* p) const { std::free(p); }
+  };
 
   std::uint32_t num_sets_;
   std::uint32_t assoc_;
   std::uint64_t tick_ = 0;
-  std::vector<std::vector<Line>> sets_;
+  std::size_t line_count_ = 0;
+  // calloc-backed (Line is an implicit-lifetime type and all-zero == all
+  // invalid): a simulator run that touches a fraction of the multi-megabyte
+  // L2 tag array never faults in the untouched pages, where an eagerly
+  // zeroed vector made every Simulator construction pay for the full array.
+  std::unique_ptr<Line[], FreeDeleter> lines_;
 };
 
 }  // namespace suvtm::mem

@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 
 namespace suvtm::mem {
@@ -16,6 +16,10 @@ struct DirEntry {
   CoreId owner = kNoCore;      // core holding M/E, or kNoCore
 };
 
+/// Flat open-addressing line -> entry map. References returned by entry()
+/// are invalidated by any later entry() that inserts (rehash) or by
+/// remove_core() (backshift erase); callers obtain their reference, use it,
+/// and drop it before the next directory mutation.
 class Directory {
  public:
   /// Entry for `l`, creating it on demand.
@@ -33,7 +37,7 @@ class Directory {
   std::size_t tracked_lines() const { return map_.size(); }
 
  private:
-  std::unordered_map<LineAddr, DirEntry> map_;
+  FlatMap<LineAddr, DirEntry> map_;
 };
 
 }  // namespace suvtm::mem

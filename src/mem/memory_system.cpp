@@ -28,6 +28,7 @@ MemorySystem::MemorySystem(const sim::MemParams& p)
     l1_.emplace_back(p.l1_bytes, p.l1_assoc);
     tlb_.emplace_back(p.tlb_entries, p.tlb_miss_latency);
   }
+  spec_lines_.resize(p.num_cores);
 }
 
 Cycle MemorySystem::fetch_from_l2_or_memory(LineAddr l, std::uint32_t /*bank_tile*/) {
@@ -106,33 +107,39 @@ AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
   out.latency += params_.l1_latency;  // detect the miss
   out.latency += mesh_.latency(core, bank) + params_.directory_latency;
 
-  DirEntry& e = dir_.entry(l);
+  // Held by pointer, not reference: the directory is an open-addressing
+  // map, so any entry() / remove_core on *another* line (the L2-fill path
+  // below can zero a recalled victim's entry) may rehash or backshift and
+  // move this slot. Re-resolve after every call that can mutate dir_.
+  DirEntry* e = &dir_.entry(l);
 
   if (!is_write) {
     // GETS.
-    if (e.owner != kNoCore && e.owner != core) {
+    if (e->owner != kNoCore && e->owner != core) {
       // Forward from the owner; owner downgrades M/E -> S (data to L2).
       ++stats_.forwards;
-      out.latency += mesh_.latency(bank, e.owner) + mesh_.latency(e.owner, core);
-      if (Cache::Line* oln = l1_[e.owner].find(l)) {
+      out.latency +=
+          mesh_.latency(bank, e->owner) + mesh_.latency(e->owner, core);
+      if (Cache::Line* oln = l1_[e->owner].find(l)) {
         if (oln->state == CohState::kModified) {
           ++stats_.writebacks;
           l2_.insert(l, CohState::kModified);
         }
         oln->state = CohState::kShared;
       }
-      e.sharers |= 1u << e.owner;
-      e.owner = kNoCore;
+      e->sharers |= 1u << e->owner;
+      e->owner = kNoCore;
       out.l2_hit = true;
     } else {
       out.l2_hit = l2_.find(l) != nullptr;
       out.latency += fetch_from_l2_or_memory(l, bank);
       out.latency += mesh_.latency(bank, core);  // data reply
+      e = &dir_.entry(l);  // the L2 fill may have moved the slot
     }
-    const bool exclusive = e.sharers == 0 && e.owner == kNoCore;
-    e.sharers |= 1u << core;
+    const bool exclusive = e->sharers == 0 && e->owner == kNoCore;
+    e->sharers |= 1u << core;
     // Track the E holder as owner so a later GETS downgrades it (MESI).
-    if (exclusive) e.owner = core;
+    if (exclusive) e->owner = core;
     Cache::Victim v =
         l1.insert(l, exclusive ? CohState::kExclusive : CohState::kShared);
     if (v.valid && v.speculative) {
@@ -144,24 +151,25 @@ AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
   }
 
   // GETM.
-  if (e.owner != kNoCore && e.owner != core) {
+  if (e->owner != kNoCore && e->owner != core) {
     ++stats_.forwards;
-    out.latency += mesh_.latency(bank, e.owner) + mesh_.latency(e.owner, core);
-    if (Cache::Line* oln = l1_[e.owner].find(l)) {
+    out.latency +=
+        mesh_.latency(bank, e->owner) + mesh_.latency(e->owner, core);
+    if (Cache::Line* oln = l1_[e->owner].find(l)) {
       if (oln->state == CohState::kModified) {
         ++stats_.writebacks;
         l2_.insert(l, CohState::kModified);
       }
     }
-    l1_[e.owner].invalidate(l);
+    l1_[e->owner].invalidate(l);
     ++stats_.invalidations;
-    e.owner = kNoCore;
-    e.sharers = 0;
+    e->owner = kNoCore;
+    e->sharers = 0;
   } else {
     // Invalidate all other sharers; cost is the farthest round trip,
     // invalidations travel in parallel.
     Cycle worst = 0;
-    for (std::uint32_t m = e.sharers & ~(1u << core); m != 0; m &= m - 1) {
+    for (std::uint32_t m = e->sharers & ~(1u << core); m != 0; m &= m - 1) {
       const CoreId c = static_cast<CoreId>(std::countr_zero(m));
       ++stats_.invalidations;
       l1_[c].invalidate(l);
@@ -173,11 +181,12 @@ AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
       out.l2_hit = l2_.find(l) != nullptr;
       out.latency += fetch_from_l2_or_memory(l, bank);
       out.latency += mesh_.latency(bank, core);
+      e = &dir_.entry(l);  // the L2 fill may have moved the slot
     }
   }
 
-  e.owner = core;
-  e.sharers = 1u << core;
+  e->owner = core;
+  e->sharers = 1u << core;
   Cache::Victim v = l1.insert(l, CohState::kModified);
   if (v.valid && v.speculative) {
     out.evicted_speculative = true;
@@ -204,27 +213,33 @@ bool MemorySystem::install_line(CoreId core, LineAddr l) {
 
 bool MemorySystem::mark_speculative(CoreId core, LineAddr l) {
   if (Cache::Line* ln = l1_[core].find(l)) {
-    ln->speculative = true;
+    if (!ln->speculative) {
+      ln->speculative = true;
+      // Newly marked: remember it so commit/abort walk only the write set.
+      // If the line is later evicted and re-marked, the duplicate entry is
+      // harmless (the walk's residency/SM re-check skips it).
+      spec_lines_[core].push_back(l);
+    }
     return true;
   }
   return false;
 }
 
 void MemorySystem::clear_speculative(CoreId core) {
-  l1_[core].for_each([](Cache::Line& ln) { ln.speculative = false; });
+  for (LineAddr l : spec_lines_[core]) {
+    if (Cache::Line* ln = l1_[core].find(l)) ln->speculative = false;
+  }
+  spec_lines_[core].clear();
 }
 
 void MemorySystem::invalidate_speculative(CoreId core) {
-  // Reuse one scratch vector across aborts; high-contention workloads abort
-  // millions of times and a fresh allocation per abort shows up in profiles.
-  spec_scratch_.clear();
-  l1_[core].for_each([&](Cache::Line& ln) {
-    if (ln.speculative) spec_scratch_.push_back(ln.tag);
-  });
-  for (LineAddr l : spec_scratch_) {
+  for (LineAddr l : spec_lines_[core]) {
+    Cache::Line* ln = l1_[core].find(l);
+    if (!ln || !ln->speculative) continue;  // stale entry: evicted since
     l1_[core].invalidate(l);
     dir_.remove_core(l, core);
   }
+  spec_lines_[core].clear();
 }
 
 }  // namespace suvtm::mem

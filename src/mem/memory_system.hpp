@@ -70,6 +70,12 @@ class MemorySystem {
   // --- FasTM speculative-line (SM bit) support -----------------------------
   /// Mark this core's cached copy of `l` speculative. Returns false if the
   /// line is not resident (caller must have just accessed it).
+  ///
+  /// Marked lines are also recorded in a per-core list so the flash
+  /// commit/abort walks touch only the write set (tens of lines) instead of
+  /// sweeping the whole L1 per transaction. Entries going stale (eviction,
+  /// coherence invalidation) is fine: the walks re-check residency and the
+  /// SM bit before acting.
   bool mark_speculative(CoreId core, LineAddr l);
   /// Flash-clear all SM bits (commit).
   void clear_speculative(CoreId core);
@@ -94,7 +100,9 @@ class MemorySystem {
   std::vector<Tlb> tlb_;
   BackingStore store_;
   MemStats stats_;
-  std::vector<LineAddr> spec_scratch_;  // reused by invalidate_speculative
+  /// Per-core lines with the SM bit set (may hold stale entries for lines
+  /// since evicted or invalidated; cleared by the flash walks).
+  std::vector<std::vector<LineAddr>> spec_lines_;
 };
 
 }  // namespace suvtm::mem

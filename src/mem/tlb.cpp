@@ -12,14 +12,14 @@ int Tlb::find_slot(std::uint64_t page) const {
   return -1;
 }
 
-Tlb::Access Tlb::access(Addr a) {
-  const std::uint64_t page = page_of(a);
-  ++tick_;
+Tlb::Access Tlb::access_slow(std::uint64_t page) {
   int slot = find_slot(page);
   if (slot >= 0) {
     entries_[slot].lru = tick_;
     ++hits_;
-    return {0, static_cast<std::uint32_t>(slot), true};
+    last_page_ = page;
+    last_slot_ = static_cast<std::uint32_t>(slot);
+    return {0, last_slot_, true};
   }
   ++misses_;
   // Fill: pick an invalid slot, else LRU victim.
@@ -36,7 +36,9 @@ Tlb::Access Tlb::access(Addr a) {
     }
   }
   entries_[victim] = {page, tick_, true};
-  return {miss_latency_, static_cast<std::uint32_t>(victim), false};
+  last_page_ = page;
+  last_slot_ = static_cast<std::uint32_t>(victim);
+  return {miss_latency_, last_slot_, false};
 }
 
 }  // namespace suvtm::mem

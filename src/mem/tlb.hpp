@@ -25,7 +25,20 @@ class Tlb {
   };
 
   /// Touch the page containing `a`; fills on miss (LRU replacement).
-  Access access(Addr a);
+  /// The last-hit page is remembered so the common same-page-as-last-time
+  /// access skips the associative scan entirely (pure host optimization:
+  /// the returned latency/slot are identical either way).
+  Access access(Addr a) {
+    const std::uint64_t page = page_of(a);
+    ++tick_;
+    if (page == last_page_ && entries_[last_slot_].valid &&
+        entries_[last_slot_].page == page) {
+      entries_[last_slot_].lru = tick_;
+      ++hits_;
+      return {0, last_slot_, true};
+    }
+    return access_slow(page);
+  }
 
   /// Slot currently mapping `page`, or -1. Does not update LRU.
   int find_slot(std::uint64_t page) const;
@@ -43,11 +56,15 @@ class Tlb {
     bool valid = false;
   };
 
+  Access access_slow(std::uint64_t page);
+
   std::vector<Entry> entries_;
   Cycle miss_latency_;
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t last_page_ = ~0ull;  // MRU fast path
+  std::uint32_t last_slot_ = 0;
 };
 
 }  // namespace suvtm::mem

@@ -1,56 +1,8 @@
 #include "sim/scheduler.hpp"
 
-#include <cassert>
 #include <utility>
 
 namespace suvtm::sim {
-
-void Scheduler::at(Cycle t, SmallFn fn) {
-  assert(t >= now_ && "cannot schedule into the past");
-  std::uint32_t slot;
-  if (free_slots_.empty()) {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.push_back(std::move(fn));
-  } else {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    slots_[slot] = std::move(fn);
-  }
-  heap_.emplace_back();  // reserve the hole; sift_up fills it
-  sift_up(heap_.size() - 1, Key{t, seq_++, slot});
-}
-
-void Scheduler::sift_up(std::size_t i, Key k) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!k.before(heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
-  }
-  heap_[i] = k;
-}
-
-Scheduler::Key Scheduler::pop_min() {
-  const Key min = heap_.front();
-  const Key last = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
-  if (n > 0) {
-    // Sift the former last key down from the root, pulling the smaller
-    // child up through the hole.
-    std::size_t i = 0;
-    for (;;) {
-      std::size_t child = 2 * i + 1;
-      if (child >= n) break;
-      if (child + 1 < n && heap_[child + 1].before(heap_[child])) ++child;
-      if (!heap_[child].before(last)) break;
-      heap_[i] = heap_[child];
-      i = child;
-    }
-    heap_[i] = last;
-  }
-  return min;
-}
 
 bool Scheduler::run(Cycle limit) {
   while (!heap_.empty()) {

@@ -16,6 +16,7 @@
 // out (std::priority_queue's const top() would force a copy before pop()).
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <vector>
@@ -30,8 +31,23 @@ class Scheduler {
   /// Current simulated time.
   Cycle now() const { return now_; }
 
-  /// Run `fn` at absolute cycle `t` (>= now).
-  void at(Cycle t, SmallFn fn);
+  /// Run `fn` at absolute cycle `t` (>= now). Inline together with the heap
+  /// helpers below: one schedule + one pop per simulated event makes these
+  /// the hottest non-model code in the simulator.
+  void at(Cycle t, SmallFn fn) {
+    assert(t >= now_ && "cannot schedule into the past");
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(fn));
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(fn);
+    }
+    heap_.emplace_back();  // reserve the hole; sift_up fills it
+    sift_up(heap_.size() - 1, Key{t, seq_++, slot});
+  }
 
   /// Run `fn` `delay` cycles from now.
   void after(Cycle delay, SmallFn fn) { at(now_ + delay, std::move(fn)); }
@@ -62,9 +78,38 @@ class Scheduler {
 
   /// Place `k` into the heap starting the upward search at hole `i`
   /// (the freshly appended last element).
-  void sift_up(std::size_t i, Key k);
+  void sift_up(std::size_t i, Key k) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!k.before(heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = k;
+  }
+
   /// Pop the minimum key (heap must be non-empty).
-  Key pop_min();
+  Key pop_min() {
+    const Key min = heap_.front();
+    const Key last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n > 0) {
+      // Sift the former last key down from the root, pulling the smaller
+      // child up through the hole.
+      std::size_t i = 0;
+      for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n && heap_[child + 1].before(heap_[child])) ++child;
+        if (!heap_[child].before(last)) break;
+        heap_[i] = heap_[child];
+        i = child;
+      }
+      heap_[i] = last;
+    }
+    return min;
+  }
 
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;

@@ -39,6 +39,7 @@ void ThreadContext::start_abort(bool* aborted, std::coroutine_handle<> h) {
     htm_.vm().on_abort_done(t2);
     htm_.conflicts().clear_wait(core_);
     t2.reset_attempt();  // timestamp survives: progress guarantee
+    htm_.conflicts().set_isolation(core_, false);
     *aborted = true;
     h.resume();
   });
@@ -166,6 +167,7 @@ void ThreadContext::issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h) {
   }
   assert(t.state == htm::TxnState::kIdle);
   t.state = htm::TxnState::kRunning;
+  htm_.conflicts().set_isolation(core_, true);
   t.depth = 1;
   t.site = aw.site;
   if (!t.has_timestamp) {
@@ -223,6 +225,7 @@ void ThreadContext::issue_commit(CommitAwaiter& aw, std::coroutine_handle<> h) {
     htm_.conflicts().clear_wait(core_);
     attempt_.settle_commit(breakdown_);
     t2.reset_committed();
+    htm_.conflicts().set_isolation(core_, false);
     ++htm_.stats().commits;
     h.resume();
   });

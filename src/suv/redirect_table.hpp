@@ -16,10 +16,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 #include "sim/config.hpp"
 #include "suv/redirect_entry.hpp"
@@ -106,8 +105,8 @@ class RedirectTable {
 
  private:
   struct L1Table {
-    std::unordered_map<LineAddr, std::uint64_t> cached;  // line -> lru tick
-    std::unordered_set<LineAddr> pinned;                 // transient entries
+    FlatMap<LineAddr, std::uint64_t> cached;  // line -> lru tick
+    FlatSet<LineAddr> pinned;                 // transient entries
   };
   struct L2Set {
     std::vector<std::pair<LineAddr, std::uint64_t>> ways;  // line, lru tick
@@ -122,7 +121,10 @@ class RedirectTable {
   void drop_from_caches(LineAddr l);
 
   sim::SuvParams params_;
-  std::unordered_map<LineAddr, RedirectEntry> entries_;  // ground truth
+  /// Ground truth. Entry pointers from find() are invalidated by
+  /// insert_transient/commit_entry/abort_entry (open addressing moves
+  /// slots); all call sites finish with a pointer before mutating.
+  FlatMap<LineAddr, RedirectEntry> entries_;
   std::vector<L1Table> l1_;
   std::vector<L2Set> l2_sets_;
   std::vector<SummarySignature> summary_;

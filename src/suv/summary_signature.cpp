@@ -9,10 +9,17 @@ SummarySignature::SummarySignature(std::uint32_t bits, std::uint32_t hashes)
   assert(hashes >= 1 && hashes <= 8);
 }
 
+// All three operations derive their k counter indices from one mix, exactly
+// as Signature::hash(l, i, bits_) would (double hashing with an odd step),
+// so the structure tests that predict bits via Signature::hash stay valid.
+
 void SummarySignature::add(LineAddr l) {
-  for (std::uint32_t i = 0; i < k_; ++i) {
-    const std::uint32_t b = htm::Signature::hash(l, i, bits_);
-    if (counts_[b] != 0xff) ++counts_[b];
+  const std::uint64_t m = htm::Signature::mix(l);
+  std::uint32_t b = static_cast<std::uint32_t>(m);
+  const std::uint32_t step = static_cast<std::uint32_t>(m >> 32) | 1u;
+  for (std::uint32_t i = 0; i < k_; ++i, b += step) {
+    std::uint8_t& c = counts_[b & (bits_ - 1)];
+    if (c != 0xff) ++c;
   }
   ++members_;
 }
@@ -22,17 +29,22 @@ void SummarySignature::remove(LineAddr l) {
   // shared (count > 1) bits are decremented but remain set, saturated
   // counters are left alone (the filter may only ever shrink toward the
   // truth, never under-approximate it).
-  for (std::uint32_t i = 0; i < k_; ++i) {
-    const std::uint32_t b = htm::Signature::hash(l, i, bits_);
-    if (counts_[b] != 0 && counts_[b] != 0xff) --counts_[b];
+  const std::uint64_t m = htm::Signature::mix(l);
+  std::uint32_t b = static_cast<std::uint32_t>(m);
+  const std::uint32_t step = static_cast<std::uint32_t>(m >> 32) | 1u;
+  for (std::uint32_t i = 0; i < k_; ++i, b += step) {
+    std::uint8_t& c = counts_[b & (bits_ - 1)];
+    if (c != 0 && c != 0xff) --c;
   }
   if (members_ > 0) --members_;
 }
 
 bool SummarySignature::test(LineAddr l) const {
-  for (std::uint32_t i = 0; i < k_; ++i) {
-    const std::uint32_t b = htm::Signature::hash(l, i, bits_);
-    if (counts_[b] == 0) return false;
+  const std::uint64_t m = htm::Signature::mix(l);
+  std::uint32_t b = static_cast<std::uint32_t>(m);
+  const std::uint32_t step = static_cast<std::uint32_t>(m >> 32) | 1u;
+  for (std::uint32_t i = 0; i < k_; ++i, b += step) {
+    if (counts_[b & (bits_ - 1)] == 0) return false;
   }
   return true;
 }

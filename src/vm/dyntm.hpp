@@ -13,8 +13,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/flat_hash.hpp"
 #include "htm/version_manager.hpp"
 #include "mem/memory_system.hpp"
 #include "sim/config.hpp"
@@ -61,7 +61,7 @@ class ModeSelector {
   }
   std::uint8_t max_;
   std::uint8_t threshold_;
-  std::unordered_map<std::uint32_t, std::uint8_t> counters_;
+  FlatMap<std::uint32_t, std::uint8_t> counters_;
 };
 
 struct DynTmStats {

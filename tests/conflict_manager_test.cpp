@@ -24,6 +24,7 @@ class ConflictManagerTest : public ::testing::Test {
              std::initializer_list<LineAddr> writes, bool lazy = false) {
     Txn& t = *txns_[c];
     t.state = TxnState::kRunning;
+    cm_.set_isolation(c, true);
     t.timestamp = (static_cast<std::uint64_t>(++ts_) << 5) | c;
     t.lazy = lazy;
     for (LineAddr l : reads) {

@@ -19,6 +19,7 @@ class HtmSystemTest : public ::testing::Test {
   Txn& run_txn(CoreId c) {
     Txn& t = htm_->txn(c);
     t.state = TxnState::kRunning;
+    htm_->conflicts().set_isolation(c, true);
     return t;
   }
 
@@ -150,11 +151,13 @@ class RequesterWinsTest : public ::testing::Test {
 TEST_F(RequesterWinsTest, OlderRequesterDoomsHolder) {
   Txn& holder = htm_->txn(1);
   holder.state = TxnState::kRunning;
+  htm_->conflicts().set_isolation(1, true);
   holder.timestamp = 200;  // younger
   holder.write_sig.add(100);
   holder.write_lines.insert(100);
   Txn& req = htm_->txn(0);
   req.state = TxnState::kRunning;
+  htm_->conflicts().set_isolation(0, true);
   req.timestamp = 100;  // older: wins
   auto d = htm_->conflicts().check(0, 100, true, false, htm_->txn_view());
   EXPECT_EQ(d.victim, 1u);
@@ -167,11 +170,13 @@ TEST_F(RequesterWinsTest, YoungerRequesterFallsBackToStall) {
   // cannot kill the holder and just stalls.
   Txn& holder = htm_->txn(1);
   holder.state = TxnState::kRunning;
+  htm_->conflicts().set_isolation(1, true);
   holder.timestamp = 100;  // older
   holder.write_sig.add(100);
   holder.write_lines.insert(100);
   Txn& req = htm_->txn(0);
   req.state = TxnState::kRunning;
+  htm_->conflicts().set_isolation(0, true);
   req.timestamp = 200;
   auto d = htm_->conflicts().check(0, 100, true, false, htm_->txn_view());
   EXPECT_NE(d.victim, 1u);
@@ -181,11 +186,13 @@ TEST_F(RequesterWinsTest, YoungerRequesterFallsBackToStall) {
 TEST_F(RequesterWinsTest, CommittingHolderIsSpared) {
   Txn& holder = htm_->txn(1);
   holder.state = TxnState::kCommitting;
+  htm_->conflicts().set_isolation(1, true);
   holder.timestamp = 500;
   holder.write_sig.add(100);
   holder.write_lines.insert(100);
   Txn& req = htm_->txn(0);
   req.state = TxnState::kRunning;
+  htm_->conflicts().set_isolation(0, true);
   req.timestamp = 99;
   auto d = htm_->conflicts().check(0, 100, true, false, htm_->txn_view());
   EXPECT_NE(d.victim, 1u);  // fell through to the stall policy
