@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "check/check.hpp"
 #include "common/flat_hash.hpp"
 #include "common/rng.hpp"
 #include "htm/signature.hpp"
@@ -426,6 +427,57 @@ void end_to_end_report(runner::BenchReport& report, double baseline_eps) {
   }
 }
 
+/// Runtime cost of the correctness checker (src/check): the same small
+/// scheme x app matrix run with cfg.check.enabled off and on. The "off"
+/// number is what a checker-capable build pays on the default path (hooks
+/// compiled in, gated on a null pointer -- the configuration the <2%
+/// compile-out budget is measured against); the "on" number is the full
+/// oracle + audit cost paid only in checked CI runs.
+void checker_overhead_report(runner::BenchReport& report) {
+  report.set("check_hooks_compiled",
+             static_cast<std::uint64_t>(check::kHooksCompiled ? 1 : 0));
+  stamp::SuiteParams params;
+  params.scale = 0.25;
+  const auto matrix = [&](bool enabled) {
+    std::vector<runner::RunPoint> points;
+    for (sim::Scheme s : {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
+                          sim::Scheme::kSuv}) {
+      sim::SimConfig cfg;
+      cfg.scheme = s;
+      cfg.mem.num_cores = 16;
+      cfg.check.enabled = enabled;
+      for (stamp::AppId app : stamp::all_apps()) {
+        points.push_back(runner::RunPoint{app, cfg, params});
+      }
+    }
+    return points;
+  };
+  runner::ParallelExecutor serial(1);
+  const auto time_matrix = [&](bool enabled) {
+    const auto points = matrix(enabled);
+    runner::run_matrix(points, serial);  // warm
+    runner::WallTimer t;
+    const auto results = runner::run_matrix(points, serial);
+    const double s = t.seconds();
+    std::uint64_t events = 0;
+    for (const auto& r : results) events += r.sim_events;
+    return s > 0 ? static_cast<double>(events) / s : 0.0;
+  };
+  const double eps_off = time_matrix(false);
+  const double eps_on =
+      check::kHooksCompiled ? time_matrix(true) : eps_off;
+  const double overhead =
+      eps_on > 0 ? (eps_off / eps_on - 1.0) * 100.0 : 0.0;
+  std::printf("\nchecker overhead (scheme x app matrix, 16 cores, "
+              "scale 0.25):\n"
+              "  check off: %10.0f events/s\n"
+              "  check on : %10.0f events/s   (+%.1f%% run time)\n",
+              eps_off, eps_on, overhead);
+  report.set("events_per_sec_check_off", eps_off);
+  report.set("events_per_sec_check_on", eps_on);
+  report.set("checker_runtime_overhead_pct", overhead);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -448,6 +500,7 @@ int main(int argc, char** argv) {
   scheduler_report(report);
   container_report(report);
   end_to_end_report(report, baseline_eps);
+  checker_overhead_report(report);
   report.write();
   return 0;
 }

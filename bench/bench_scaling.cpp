@@ -9,15 +9,20 @@
 // app cross-product through the pool. A machine-readable summary lands in
 // BENCH_scaling.json.
 //
-// Usage: bench_scaling [scale] [--jobs N] [--smoke]
+// Usage: bench_scaling [scale] [--jobs N] [--smoke] [--check]
 //   --smoke: tiny scale, identity check plus a seed-shape audit of every
 //            RunResult field block; exits non-zero on any violation (used
 //            as the ctest parallel smoke target).
+//   --check: run every simulation with the correctness checker enabled
+//            (history oracle + structural audits; see src/check). Requires
+//            a build with SUVTM_CHECK=ON to have any effect; any violation
+//            aborts the run. Timing numbers include the checking cost.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "check/check.hpp"
 #include "runner/bench_report.hpp"
 #include "runner/parallel.hpp"
 #include "runner/tables.hpp"
@@ -27,13 +32,14 @@ using namespace suvtm;
 namespace {
 
 std::vector<runner::RunPoint> sweep_points(const stamp::SuiteParams& params,
-                                           std::uint32_t cores) {
+                                           std::uint32_t cores, bool check) {
   std::vector<runner::RunPoint> points;
   for (sim::Scheme s : {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
                         sim::Scheme::kSuv}) {
     sim::SimConfig cfg;
     cfg.scheme = s;
     cfg.mem.num_cores = cores;
+    cfg.check.enabled = check;
     for (stamp::AppId app : stamp::all_apps()) {
       points.push_back(runner::RunPoint{app, cfg, params});
     }
@@ -91,13 +97,23 @@ int check_seed_shape(const std::vector<runner::RunPoint>& points,
 int main(int argc, char** argv) {
   const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
   bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
+  bool check = false;
+  for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      break;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      ++i;
+      continue;
     }
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+  }
+  if (check && !check::kHooksCompiled) {
+    std::fprintf(stderr,
+                 "warning: --check requested but this build compiled the "
+                 "checker hooks out (SUVTM_CHECK=OFF); running unchecked\n");
   }
   stamp::SuiteParams params;
   params.scale = argc > 1 ? std::atof(argv[1]) : (smoke ? 0.1 : 0.5);
@@ -106,9 +122,10 @@ int main(int argc, char** argv) {
   report.set("jobs", jobs);
   report.set("scale", params.scale);
   report.set("smoke", static_cast<std::uint64_t>(smoke ? 1 : 0));
+  report.set("check", static_cast<std::uint64_t>(check ? 1 : 0));
 
   // ---- Part 1: harness throughput, --jobs 1 vs --jobs N ------------------
-  const auto points = sweep_points(params, smoke ? 8 : 16);
+  const auto points = sweep_points(params, smoke ? 8 : 16, check);
   std::printf("Part 1: scheme x app sweep (%zu runs, scale=%.2f), "
               "jobs=1 vs jobs=%u\n\n", points.size(), params.scale, jobs);
 
@@ -178,6 +195,7 @@ int main(int argc, char** argv) {
       sim::SimConfig cfg;
       cfg.scheme = s;
       cfg.mem.num_cores = cores;
+      cfg.check.enabled = check;
       for (stamp::AppId app : stamp::all_apps()) {
         all.push_back(runner::RunPoint{app, cfg, params});
       }

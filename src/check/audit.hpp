@@ -1,0 +1,50 @@
+// Structural invariant audits (src/check's second half, next to the history
+// oracle): walk the simulator's live data structures and report every way
+// they disagree with each other. Each audit returns human-readable violation
+// strings; an empty vector means the structure is internally consistent.
+//
+// The invariants encoded here are the load-bearing cross-structure
+// agreements the schemes rely on:
+//   - MESI: directory owner/sharer info matches the L1 states, the
+//     inclusive L2 backs every non-M L1 line, SM bits are tracked.
+//   - Signatures: every Bloom filter is a superset of the exact set it
+//     summarizes (read/write sets, suspended summaries).
+//   - SUV: redirect entries, summary signatures, table caches, pinned sets,
+//     pool accounting and per-transaction ownership lists all describe the
+//     same single live version of every redirected line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace suvtm::mem {
+class MemorySystem;
+}
+namespace suvtm::htm {
+class HtmSystem;
+}
+namespace suvtm::vm {
+class SuvVm;
+}
+
+namespace suvtm::check {
+
+/// MESI single-owner/sharer agreement + L2 inclusion + SM-bit tracking.
+std::vector<std::string> audit_coherence(const mem::MemorySystem& mem);
+
+/// Per-transaction signatures and the suspended summaries are supersets of
+/// the exact sets they stand for.
+std::vector<std::string> audit_signatures(const htm::HtmSystem& htm);
+
+/// Redirect-table / summary / pool / ownership consistency: exactly one
+/// live version per redirected line, balanced pool refcounts, hardware
+/// table levels cache only live entries.
+std::vector<std::string> audit_suv(const vm::SuvVm& suv,
+                                   const htm::HtmSystem& htm);
+
+/// All of the above (suv audits skipped when `suv` is nullptr).
+std::vector<std::string> audit_all(const mem::MemorySystem& mem,
+                                   const htm::HtmSystem& htm,
+                                   const vm::SuvVm* suv);
+
+}  // namespace suvtm::check

@@ -1,0 +1,191 @@
+#include "check/check.hpp"
+
+#include <utility>
+
+#include "check/audit.hpp"
+#include "check/format.hpp"
+#include "htm/htm_system.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/config.hpp"
+#include "vm/dyntm.hpp"
+#include "vm/suv_vm.hpp"
+
+namespace suvtm::check {
+
+namespace {
+
+constexpr std::size_t kMaxViolations = 64;
+
+vm::SuvVm* find_suv_backend(htm::HtmSystem& htm) {
+  htm::VersionManager* v = &htm.vm();
+  if (auto* s = dynamic_cast<vm::SuvVm*>(v)) return s;
+  if (auto* d = dynamic_cast<vm::DynTm*>(v)) {
+    return dynamic_cast<vm::SuvVm*>(&d->inner());
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Checker::Checker(const sim::SimConfig& cfg, mem::MemorySystem& mem,
+                 htm::HtmSystem& htm)
+    : cfg_(cfg), mem_(mem), htm_(htm), suv_(find_suv_backend(htm)),
+      oracle_(htm.num_cores()), pending_writes_(htm.num_cores()),
+      suspended_writes_(htm.num_cores()) {}
+
+void Checker::on_run_start() {
+  // Record every nonzero workload word (pool pages hold SUV-internal
+  // versions, not workload state; they are exempt from the sweep).
+  snapshot_.clear();
+  mem_.backing().for_each_page_id([&](std::uint64_t page) {
+    const Addr base = page * kPageBytes;
+    if (base >= kRedirectPoolBase) return;
+    for (Addr a = base; a < base + kPageBytes; a += kWordBytes) {
+      const std::uint64_t v = mem_.load_word(a);
+      if (v != 0) snapshot_.emplace(a, v);
+    }
+  });
+  snapshot_taken_ = true;
+}
+
+void Checker::on_commit_done(CoreId c, Cycle now, bool lazy) {
+  oracle_.on_commit_done(c, now, lazy);
+  for (Addr w : pending_writes_[c]) committed_writes_.insert(w);
+  pending_writes_[c].clear();
+  ++commits_seen_;
+  if (cfg_.check.audit_interval != 0 &&
+      commits_seen_ % cfg_.check.audit_interval == 0) {
+    run_audits();
+  }
+}
+
+void Checker::on_abort_done(CoreId c) {
+  oracle_.on_abort_done(c);
+  pending_writes_[c].clear();
+}
+
+void Checker::on_suspend(CoreId c) {
+  oracle_.on_suspend(c);
+  suspended_writes_[c].push_back(std::move(pending_writes_[c]));
+  pending_writes_[c].clear();
+}
+
+void Checker::on_resume(CoreId c) {
+  oracle_.on_resume(c);
+  if (suspended_writes_[c].empty()) {
+    violation(format("checker: resume on core %u without a parked attempt", c));
+    return;
+  }
+  // HtmSystem restores the core's FIRST suspended transaction.
+  pending_writes_[c] = std::move(suspended_writes_[c].front());
+  suspended_writes_[c].erase(suspended_writes_[c].begin());
+}
+
+void Checker::on_access_granted(CoreId c, LineAddr line, bool exclusive,
+                                bool requester_lazy) {
+  // The conflict manager filters on signatures, which are supersets of the
+  // exact sets below: a granted access that intersects an exact set means
+  // isolation itself broke, not just the filter. Doomed transactions are
+  // skipped -- committer-wins and lazy-reader invalidation doom the victim
+  // and then legitimately proceed through its footprint while it drains.
+  auto& txns = htm_.txn_view();
+  for (CoreId o = 0; o < txns.size(); ++o) {
+    if (o == c) continue;
+    const htm::Txn* t = txns[o];
+    if (!t || !t->holds_isolation() || t->doomed) continue;
+    const char* why = nullptr;
+    if (t->lazy && t->state == htm::TxnState::kRunning) {
+      // Buffered writes confer no coherence permission; only an exclusive
+      // request on its write set is an eager conflict.
+      if (exclusive && t->write_lines.contains(line)) why = "write set";
+    } else if (requester_lazy) {
+      if (t->write_lines.contains(line)) why = "write set";
+    } else if (exclusive) {
+      if (t->write_lines.contains(line)) why = "write set";
+      else if (t->read_lines.contains(line)) why = "read set";
+    } else {
+      if (t->write_lines.contains(line)) why = "write set";
+    }
+    if (why) {
+      violation(format(
+          "isolation: core %u was granted %s access to line %#llx inside the "
+          "%s of core %u's %s transaction",
+          c, exclusive ? "exclusive" : "shared",
+          static_cast<unsigned long long>(line), why, o,
+          t->lazy ? "lazy" : "eager"));
+    }
+  }
+  htm_.for_each_suspended([&](CoreId from, const htm::Txn& s) {
+    const bool hit = s.write_lines.contains(line) ||
+                     (exclusive && s.read_lines.contains(line));
+    if (hit) {
+      violation(format(
+          "isolation: core %u was granted %s access to line %#llx held by "
+          "the suspended transaction from core %u",
+          c, exclusive ? "exclusive" : "shared",
+          static_cast<unsigned long long>(line), from));
+    }
+  });
+}
+
+void Checker::run_audits() {
+  ++audits_run_;
+  for (auto& msg : audit_all(mem_, htm_, suv_)) violation(std::move(msg));
+}
+
+void Checker::finalize() {
+  oracle_.finalize([this](Addr a) {
+    return mem_.load_word(htm_.vm().debug_resolve(kNoCore, a));
+  });
+  for (const std::string& v : oracle_.violations()) violation(v);
+
+  // Untouched-word sweep: every workload word no committed or
+  // non-transactional write touched must still hold its run-start value (a
+  // leaked speculative version or a broken abort restore shows up here;
+  // committed words are covered by the oracle's replay comparison).
+  if (snapshot_taken_) {
+    std::size_t swept_violations = 0;
+    mem_.backing().for_each_page_id([&](std::uint64_t page) {
+      const Addr base = page * kPageBytes;
+      if (base >= kRedirectPoolBase) return;
+      for (Addr a = base; a < base + kPageBytes; a += kWordBytes) {
+        if (committed_writes_.contains(a)) continue;
+        const auto it = snapshot_.find(a);
+        const std::uint64_t expect = it == snapshot_.end() ? 0 : it->second;
+        const std::uint64_t got =
+            mem_.load_word(htm_.vm().debug_resolve(kNoCore, a));
+        if (got != expect && swept_violations < 8) {
+          ++swept_violations;
+          violation(format(
+              "image: word %#llx was never committed-written yet changed "
+              "from %#llx to %#llx",
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(expect),
+              static_cast<unsigned long long>(got)));
+        }
+      }
+    });
+  }
+
+  run_audits();
+
+  if (!violations_.empty()) {
+    std::string msg = format("correctness check failed (%zu violations):",
+                             violations_.size());
+    for (const std::string& v : violations_) {
+      msg += "\n  ";
+      msg += v;
+    }
+    throw CheckFailure(msg);
+  }
+}
+
+void Checker::violation(std::string msg) {
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(std::move(msg));
+  } else if (violations_.size() == kMaxViolations) {
+    violations_.push_back("... further violations suppressed");
+  }
+}
+
+}  // namespace suvtm::check

@@ -1,0 +1,145 @@
+// suvtm::check -- runtime correctness checking for the simulator.
+//
+// The Checker glues the history oracle (history.hpp) and the structural
+// audits (audit.hpp) onto a live simulation:
+//
+//   - every memory access, transaction boundary and suspend/resume is
+//     recorded into the oracle, which proves the run conflict-serializable
+//     and replays it serially for final-state equality;
+//   - every granted access is audited against the exact read/write sets of
+//     every other isolation-holding transaction (the signatures the
+//     conflict manager consults are supersets of those sets, so a granted
+//     access that intersects an exact set means isolation actually broke);
+//   - every `audit_interval`-th commit, plus finalize(), walks the
+//     coherence/signature/SUV structures for internal consistency;
+//   - finalize() additionally sweeps the whole backing-store image against
+//     a snapshot taken at run start: words no committed access wrote must
+//     be unchanged (a broken abort restore shows up here).
+//
+// Compile-time gating: the simulator's hook sites go through
+// SUVTM_CHECK_HOOK, which compiles to nothing unless the build sets
+// SUVTM_CHECK_ENABLED=1 (the SUVTM_CHECK CMake option). The Checker class
+// itself is always compiled -- tests drive it directly -- only the hot-path
+// hook sites vanish.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+#include "common/flat_hash.hpp"
+#include "common/types.hpp"
+
+#ifndef SUVTM_CHECK_ENABLED
+#define SUVTM_CHECK_ENABLED 0
+#endif
+
+#if SUVTM_CHECK_ENABLED
+#define SUVTM_CHECK_HOOK(ck, call) \
+  do {                             \
+    if (ck) (ck)->call;            \
+  } while (0)
+#else
+#define SUVTM_CHECK_HOOK(ck, call) \
+  do {                             \
+  } while (0)
+#endif
+
+namespace suvtm::mem {
+class MemorySystem;
+}
+namespace suvtm::htm {
+class HtmSystem;
+}
+namespace suvtm::vm {
+class SuvVm;
+}
+namespace suvtm::sim {
+struct SimConfig;
+}
+
+namespace suvtm::check {
+
+/// True when this build compiled the simulator's hook sites in.
+inline constexpr bool kHooksCompiled = SUVTM_CHECK_ENABLED != 0;
+
+/// Thrown by Checker::finalize() when any violation was recorded.
+class CheckFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Checker {
+ public:
+  /// `mem` and `htm` must outlive the Checker. The SUV backend (if the
+  /// scheme has one, directly or behind DynTM) is discovered from `htm`.
+  Checker(const sim::SimConfig& cfg, mem::MemorySystem& mem,
+          htm::HtmSystem& htm);
+
+  // ---- run lifecycle -------------------------------------------------------
+  /// Snapshot the initial workload image (after workload build, before the
+  /// first simulated event). Required for the untouched-word sweep.
+  void on_run_start();
+  /// Drain the oracle, replay, and run every audit. Throws CheckFailure
+  /// listing the violations if any check failed.
+  void finalize();
+
+  // ---- simulator hooks (see thread_context.cpp / htm_system.cpp) -----------
+  void on_begin(CoreId c, Cycle now) { oracle_.on_begin(c, now); }
+  void on_frame_push(CoreId c) { oracle_.on_frame_push(c); }
+  void on_frame_pop(CoreId c) { oracle_.on_frame_pop(c); }
+  void on_frame_rollback(CoreId c) { oracle_.on_frame_rollback(c); }
+  void on_read(CoreId c, bool in_tx, Addr word, std::uint64_t value,
+               Cycle now) {
+    oracle_.on_read(c, in_tx, word, value, now);
+  }
+  void on_write(CoreId c, bool in_tx, Addr word, std::uint64_t value,
+                Cycle now) {
+    oracle_.on_write(c, in_tx, word, value, now);
+    if (in_tx) pending_writes_[c].push_back(word);
+    else committed_writes_.insert(word);
+  }
+  void on_commit_start(CoreId c, Cycle now) { oracle_.on_commit_start(c, now); }
+  void on_commit_done(CoreId c, Cycle now, bool lazy);
+  void on_abort_done(CoreId c);
+  void on_suspend(CoreId c);
+  void on_resume(CoreId c);
+
+  /// The conflict manager granted `c` access to `line`. Audits the grant
+  /// against every other isolation holder's exact sets.
+  void on_access_granted(CoreId c, LineAddr line, bool exclusive,
+                         bool requester_lazy);
+
+  // ---- results -------------------------------------------------------------
+  const std::vector<std::string>& violations() const { return violations_; }
+  HistoryOracle& oracle() { return oracle_; }
+  std::uint64_t audits_run() const { return audits_run_; }
+
+ private:
+  void run_audits();
+  void violation(std::string msg);
+
+  const sim::SimConfig& cfg_;
+  mem::MemorySystem& mem_;
+  htm::HtmSystem& htm_;
+  vm::SuvVm* suv_ = nullptr;  // discovered; nullptr for non-SUV schemes
+
+  HistoryOracle oracle_;
+  /// Words written by the current attempt per core; promoted into
+  /// committed_writes_ at commit, discarded at abort. Suspended attempts
+  /// park theirs in suspended_writes_ (FIFO per core, matching HtmSystem).
+  std::vector<std::vector<Addr>> pending_writes_;
+  std::vector<std::vector<std::vector<Addr>>> suspended_writes_;
+  /// Every word some committed (or non-transactional) write touched; all
+  /// other words must still hold their run-start snapshot value at the end.
+  FlatSet<Addr> committed_writes_;
+  FlatMap<Addr, std::uint64_t> snapshot_;
+  bool snapshot_taken_ = false;
+  std::uint64_t commits_seen_ = 0;
+  std::uint64_t audits_run_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace suvtm::check

@@ -1,0 +1,94 @@
+#include "check/equivalence.hpp"
+
+#include <algorithm>
+
+#include "check/format.hpp"
+#include "sim/simulator.hpp"
+
+namespace suvtm::check {
+
+FinalImage capture_final_image(stamp::AppId app, const sim::SimConfig& cfg,
+                               const stamp::SuiteParams& params) {
+  sim::Simulator sim(cfg);
+  auto workload = stamp::make_workload(app);
+  workload->build(sim, params);
+  sim.run();
+  workload->verify(sim);
+
+  FinalImage out;
+  out.scheme = cfg.scheme;
+  out.makespan = sim.makespan();
+  out.commits = sim.htm().stats().commits;
+  sim.mem().backing().for_each_page_id([&](std::uint64_t page) {
+    const Addr base = page * kPageBytes;
+    if (base >= kRedirectPoolBase) return;  // pool pages are SUV-internal
+    for (Addr a = base; a < base + kPageBytes; a += kWordBytes) {
+      const std::uint64_t v = sim.read_word_resolved(a);
+      if (v != 0) out.words.emplace(a, v);
+    }
+  });
+  return out;
+}
+
+std::string diff_images(const FinalImage& a, const FinalImage& b,
+                        std::size_t max_diffs) {
+  // Collect mismatches in address order so the report is deterministic
+  // regardless of map iteration order.
+  std::vector<std::string> diffs;
+  std::vector<Addr> addrs;
+  addrs.reserve(a.words.size() + b.words.size());
+  for (const auto& kv : a.words) addrs.push_back(kv.first);
+  for (const auto& kv : b.words) {
+    if (!a.words.contains(kv.first)) addrs.push_back(kv.first);
+  }
+  std::sort(addrs.begin(), addrs.end());
+  std::size_t total = 0;
+  for (Addr w : addrs) {
+    const auto ia = a.words.find(w);
+    const auto ib = b.words.find(w);
+    const std::uint64_t va = ia == a.words.end() ? 0 : ia->second;
+    const std::uint64_t vb = ib == b.words.end() ? 0 : ib->second;
+    if (va == vb) continue;
+    ++total;
+    if (diffs.size() < max_diffs) {
+      diffs.push_back(format("  word %#llx: %s=%#llx %s=%#llx",
+                             static_cast<unsigned long long>(w),
+                             sim::scheme_name(a.scheme),
+                             static_cast<unsigned long long>(va),
+                             sim::scheme_name(b.scheme),
+                             static_cast<unsigned long long>(vb)));
+    }
+  }
+  if (total == 0) return {};
+  std::string out =
+      format("%s and %s diverge on %zu words:", sim::scheme_name(a.scheme),
+             sim::scheme_name(b.scheme), total);
+  for (const std::string& d : diffs) {
+    out += '\n';
+    out += d;
+  }
+  if (total > diffs.size()) out += "\n  ...";
+  return out;
+}
+
+std::string compare_schemes(stamp::AppId app, const sim::SimConfig& base,
+                            const stamp::SuiteParams& params,
+                            const std::vector<sim::Scheme>& schemes) {
+  if (schemes.empty()) return {};
+  std::string report;
+  sim::SimConfig cfg = base;
+  cfg.scheme = schemes.front();
+  const FinalImage ref = capture_final_image(app, cfg, params);
+  for (std::size_t i = 1; i < schemes.size(); ++i) {
+    cfg.scheme = schemes[i];
+    const FinalImage img = capture_final_image(app, cfg, params);
+    std::string d = diff_images(ref, img);
+    if (d.empty()) continue;
+    if (!report.empty()) report += '\n';
+    report += format("app %s: ", stamp::app_name(app));
+    report += d;
+  }
+  return report;
+}
+
+}  // namespace suvtm::check

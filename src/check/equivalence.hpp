@@ -1,0 +1,49 @@
+// Cross-scheme equivalence harness: the four version-management schemes are
+// different *mechanisms* for the same contract, so one workload run from one
+// seed must leave bit-identical final memory under every scheme (after
+// resolving live SUV redirections). A divergence means some scheme lost,
+// duplicated or mis-versioned an update that the others kept.
+//
+// Timing, commit interleaving and abort counts legitimately differ between
+// schemes; only the *resolved functional image* is compared, and only for
+// workloads whose final state is insensitive to commit order (commutative
+// updates, partitioned data). Callers pick the apps accordingly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/flat_hash.hpp"
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "stamp/framework.hpp"
+
+namespace suvtm::check {
+
+/// Final resolved memory of one run: every nonzero workload word (pool
+/// pages excluded), read through any live redirect entry.
+struct FinalImage {
+  sim::Scheme scheme{};
+  FlatMap<Addr, std::uint64_t> words;
+  Cycle makespan = 0;
+  std::uint64_t commits = 0;
+};
+
+/// Run `app` under `cfg` (cfg.scheme decides the mechanism) and capture the
+/// resolved final image. Workload verify() runs too; its exceptions
+/// propagate.
+FinalImage capture_final_image(stamp::AppId app, const sim::SimConfig& cfg,
+                               const stamp::SuiteParams& params);
+
+/// Word-for-word diff of two images. Empty string when identical; otherwise
+/// a report naming up to `max_diffs` mismatching words.
+std::string diff_images(const FinalImage& a, const FinalImage& b,
+                        std::size_t max_diffs = 8);
+
+/// Run `app` once per scheme from the same config/seed and diff every image
+/// against the first scheme's. Empty string when all agree.
+std::string compare_schemes(stamp::AppId app, const sim::SimConfig& base,
+                            const stamp::SuiteParams& params,
+                            const std::vector<sim::Scheme>& schemes);
+
+}  // namespace suvtm::check

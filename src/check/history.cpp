@@ -1,0 +1,394 @@
+#include "check/history.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+
+#include "check/format.hpp"
+
+namespace suvtm::check {
+
+HistoryOracle::HistoryOracle(std::uint32_t num_cores)
+    : staged_(num_cores), parked_(num_cores) {}
+
+void HistoryOracle::on_begin(CoreId c, Cycle now) {
+  Staged& s = staged_[c];
+  if (s.active) {
+    violation(format("core %u: begin while a transaction is already staged", c));
+  }
+  s.active = true;
+  s.committing = false;
+  s.begin_cycle = now;
+  s.commit_start = 0;
+  s.accesses.clear();
+  s.frame_marks.clear();
+  s.touches.clear();
+}
+
+void HistoryOracle::on_frame_push(CoreId c) {
+  staged_[c].frame_marks.push_back(staged_[c].accesses.size());
+}
+
+void HistoryOracle::on_frame_pop(CoreId c) {
+  Staged& s = staged_[c];
+  if (s.frame_marks.empty()) {
+    violation(format("core %u: frame pop without a pushed frame", c));
+    return;
+  }
+  // Merge into the parent: the inner frame's accesses stay staged.
+  s.frame_marks.pop_back();
+}
+
+void HistoryOracle::on_frame_rollback(CoreId c) {
+  Staged& s = staged_[c];
+  if (s.frame_marks.empty()) {
+    violation(format("core %u: frame rollback without a pushed frame", c));
+    return;
+  }
+  // The inner frame's version-state was undone, so its accesses vanish from
+  // the committed history. The touch map is rebuilt from the survivors: the
+  // rolled-back accesses must not seed conflict-direction checks.
+  s.accesses.resize(s.frame_marks.back());
+  rebuild_touches(s);
+}
+
+void HistoryOracle::on_read(CoreId c, bool in_tx, Addr word,
+                            std::uint64_t value, Cycle now) {
+  record_access(c, in_tx, word, value, /*is_write=*/false, now);
+}
+
+void HistoryOracle::on_write(CoreId c, bool in_tx, Addr word,
+                             std::uint64_t value, Cycle now) {
+  record_access(c, in_tx, word, value, /*is_write=*/true, now);
+}
+
+void HistoryOracle::record_access(CoreId c, bool in_tx, Addr word,
+                                  std::uint64_t value, bool is_write,
+                                  Cycle now) {
+  assert((word & (kWordBytes - 1)) == 0);
+  if (in_tx) {
+    Staged& s = staged_[c];
+    if (!s.active) {
+      violation(format("core %u: transactional access without begin", c));
+      return;
+    }
+    s.accesses.push_back({word, value, now, is_write});
+    touch(s, line_of(word), is_write, now);
+    return;
+  }
+  // Non-transactional accesses are singleton transactions serialized at
+  // their own (isolation-checked) issue cycle.
+  pending_nontx_.push_back(
+      {make_key(now, /*lazy=*/false), {word, value, now, is_write}});
+  drain(now);
+}
+
+void HistoryOracle::touch(Staged& s, LineAddr line, bool is_write, Cycle now) {
+  Touch& t = s.touches[line];
+  Cycle& slot = is_write ? t.first_write : t.first_read;
+  if (now < slot) slot = now;
+}
+
+void HistoryOracle::rebuild_touches(Staged& s) {
+  s.touches.clear();
+  for (const AccessRec& a : s.accesses) {
+    touch(s, line_of(a.word), a.is_write, a.cycle);
+  }
+}
+
+void HistoryOracle::on_commit_start(CoreId c, Cycle now) {
+  Staged& s = staged_[c];
+  if (!s.active) {
+    violation(format("core %u: commit start without begin", c));
+    return;
+  }
+  s.committing = true;
+  s.commit_start = now;
+}
+
+void HistoryOracle::on_commit_done(CoreId c, Cycle now, bool lazy) {
+  Staged& s = staged_[c];
+  if (!s.active || !s.committing) {
+    violation(format("core %u: commit done without commit start", c));
+    return;
+  }
+  seal(c, now, lazy);
+  s.active = false;
+  s.committing = false;
+  drain(now);
+}
+
+void HistoryOracle::on_abort_done(CoreId c) {
+  // Aborted attempts leave no trace in the committed history; the version
+  // manager's restore work is validated by the final-state comparison.
+  Staged& s = staged_[c];
+  s.active = false;
+  s.committing = false;
+  s.accesses.clear();
+  s.frame_marks.clear();
+  s.touches.clear();
+}
+
+void HistoryOracle::on_suspend(CoreId c) {
+  parked_[c].push_back(std::move(staged_[c]));
+  staged_[c] = Staged{};
+}
+
+void HistoryOracle::on_resume(CoreId c) {
+  if (parked_[c].empty()) {
+    violation(format("core %u: resume without a suspended transaction", c));
+    return;
+  }
+  if (staged_[c].active) {
+    violation(format("core %u: resume while another transaction is staged", c));
+  }
+  staged_[c] = std::move(parked_[c].front());
+  parked_[c].erase(parked_[c].begin());
+}
+
+void HistoryOracle::seal(CoreId c, Cycle now, bool lazy) {
+  Staged& s = staged_[c];
+  const std::uint64_t key =
+      lazy ? make_key(now, true) : make_key(s.commit_start, false);
+  const std::uint64_t seq = seal_seq_++;
+  ++commit_seq_;
+
+  SealedWindow w;
+  w.key = key;
+  w.seq = seq;
+  w.begin_cycle = s.begin_cycle;
+  w.release_cycle = now;  // isolation drops when the commit completes
+  w.lazy = lazy;
+  w.touches.reserve(s.touches.size());
+  for (const auto& kv : s.touches) {
+    // A lazy transaction's writes only become visible at publish, so that
+    // is their effective conflict time regardless of when they were issued
+    // (buffered or SUV-redirected, they were invisible until now).
+    const Cycle write_eff =
+        (kv.second.first_write == kNever) ? kNever : (lazy ? now : kv.second.first_write);
+    w.touches.push_back({kv.first, kv.second.first_read, write_eff});
+  }
+  std::sort(w.touches.begin(), w.touches.end(),
+            [](const TouchRec& a, const TouchRec& b) { return a.line < b.line; });
+
+  check_window_conflicts(w);
+  window_.push_back(std::move(w));
+  prune_window(now);
+
+  // Queue the accesses for serialization-order replay. Keys can arrive out
+  // of order (an eager transaction seals at commit *done* but serializes at
+  // commit *start*), so insert in sorted position from the back.
+  PendingTxn p{key, seq, std::move(s.accesses)};
+  s.accesses = {};
+  auto it = pending_txns_.end();
+  while (it != pending_txns_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->key < p.key || (prev->key == p.key && prev->seq < p.seq)) break;
+    it = prev;
+  }
+  pending_txns_.insert(it, std::move(p));
+}
+
+void HistoryOracle::check_window_conflicts(const SealedWindow& b) {
+  for (const SealedWindow& a : window_) {
+    if (a.release_cycle <= b.begin_cycle) continue;  // disjoint: trivially ordered
+    const bool a_first = a.key < b.key || (a.key == b.key && a.seq < b.seq);
+    const SealedWindow& f = a_first ? a : b;
+    const SealedWindow& s = a_first ? b : a;
+    // Merge the line-sorted touch lists.
+    std::size_t i = 0, j = 0;
+    while (i < f.touches.size() && j < s.touches.size()) {
+      const TouchRec& ft = f.touches[i];
+      const TouchRec& st = s.touches[j];
+      if (ft.line < st.line) {
+        ++i;
+      } else if (st.line < ft.line) {
+        ++j;
+      } else {
+        // Every conflicting access pair must run in serialization order;
+        // ties are unorientable within a cycle and are skipped.
+        if (ft.write != kNever && st.write != kNever && st.write < ft.write) {
+          violation(format("conflict order: line %#" PRIx64
+                           " w-w: txn seq %" PRIu64 " (key %" PRIu64
+                           ") wrote at %" PRIu64 " after txn seq %" PRIu64
+                           " (key %" PRIu64 ") wrote at %" PRIu64
+                           " despite serializing first",
+                           addr_of_line(ft.line), f.seq, f.key, ft.write,
+                           s.seq, s.key, st.write));
+        }
+        if (ft.write != kNever && st.read != kNever && st.read < ft.write) {
+          violation(format("conflict order: line %#" PRIx64
+                           " w-r: txn seq %" PRIu64 " (key %" PRIu64
+                           ") read at %" PRIu64 " before txn seq %" PRIu64
+                           " (key %" PRIu64 ") wrote at %" PRIu64
+                           " despite serializing after it",
+                           addr_of_line(ft.line), s.seq, s.key, st.read,
+                           f.seq, f.key, ft.write));
+        }
+        if (ft.read != kNever && st.write != kNever && st.write < ft.read) {
+          violation(format("conflict order: line %#" PRIx64
+                           " r-w: txn seq %" PRIu64 " (key %" PRIu64
+                           ") wrote at %" PRIu64 " before txn seq %" PRIu64
+                           " (key %" PRIu64 ") read at %" PRIu64
+                           " despite serializing after it",
+                           addr_of_line(ft.line), s.seq, s.key, st.write,
+                           f.seq, f.key, ft.read));
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+}
+
+void HistoryOracle::prune_window(Cycle now) {
+  // A sealed window can only conflict-overlap transactions that began
+  // before it released. Once every live (staged or parked) transaction
+  // began at or after its release -- and any future one begins at >= now --
+  // it can never be paired again.
+  Cycle min_begin = now;
+  for (const Staged& s : staged_) {
+    if (s.active) min_begin = std::min(min_begin, s.begin_cycle);
+  }
+  for (const auto& q : parked_) {
+    for (const Staged& s : q) {
+      if (s.active) min_begin = std::min(min_begin, s.begin_cycle);
+    }
+  }
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    if (window_[i].release_cycle > min_begin) {
+      if (out != i) window_[out] = std::move(window_[i]);
+      ++out;
+    }
+  }
+  window_.resize(out);
+}
+
+std::uint64_t HistoryOracle::horizon(Cycle now) const {
+  // Nothing sealing in the future can serialize before `now` except an
+  // eager transaction already inside its commit window, which will seal
+  // with key 2*commit_start. (We cannot tell lazy committers apart until
+  // they seal, so treat every committer conservatively as eager.)
+  std::uint64_t h = make_key(now, false);
+  for (const Staged& s : staged_) {
+    if (s.active && s.committing) {
+      h = std::min(h, make_key(s.commit_start, false));
+    }
+  }
+  return h;
+}
+
+void HistoryOracle::drain(Cycle now) {
+  const std::uint64_t h = horizon(now);
+  for (;;) {
+    const bool have_t = !pending_txns_.empty() && pending_txns_.front().key < h;
+    const bool have_n =
+        !pending_nontx_.empty() && pending_nontx_.front().key < h;
+    if (!have_t && !have_n) break;
+    // At equal keys the transaction replays first: a conflicting
+    // non-transactional access admitted in the same cycle had to wait for
+    // the transaction's isolation release.
+    if (have_t &&
+        (!have_n || pending_txns_.front().key <= pending_nontx_.front().key)) {
+      replay_txn(pending_txns_.front().accesses);
+      pending_txns_.pop_front();
+    } else {
+      replay_one(pending_nontx_.front().access);
+      pending_nontx_.pop_front();
+    }
+  }
+}
+
+void HistoryOracle::drain_all() {
+  for (;;) {
+    const bool have_t = !pending_txns_.empty();
+    const bool have_n = !pending_nontx_.empty();
+    if (!have_t && !have_n) break;
+    if (have_t &&
+        (!have_n || pending_txns_.front().key <= pending_nontx_.front().key)) {
+      replay_txn(pending_txns_.front().accesses);
+      pending_txns_.pop_front();
+    } else {
+      replay_one(pending_nontx_.front().access);
+      pending_nontx_.pop_front();
+    }
+  }
+}
+
+void HistoryOracle::replay_one(const AccessRec& a) {
+  ++replayed_;
+  if (a.is_write) {
+    replay_[a.word] = a.value;
+    return;
+  }
+  auto it = replay_.find(a.word);
+  if (it == replay_.end()) {
+    // First reference in serialization order: the observed value defines
+    // the word's initial contents.
+    replay_[a.word] = a.value;
+  } else if (it->second != a.value) {
+    violation(format("replay: read of %#" PRIx64 " observed %#" PRIx64
+                     " but the serial history holds %#" PRIx64,
+                     a.word, a.value, it->second));
+  }
+}
+
+void HistoryOracle::replay_txn(const std::vector<AccessRec>& accesses) {
+  scratch_own_.clear();
+  for (const AccessRec& a : accesses) {
+    ++replayed_;
+    if (a.is_write) {
+      scratch_own_[a.word] = a.value;
+      continue;
+    }
+    auto own = scratch_own_.find(a.word);
+    if (own != scratch_own_.end()) {
+      if (own->second != a.value) {
+        violation(format("replay: read of %#" PRIx64 " observed %#" PRIx64
+                         " but the transaction itself wrote %#" PRIx64,
+                         a.word, a.value, own->second));
+      }
+      continue;
+    }
+    auto it = replay_.find(a.word);
+    if (it == replay_.end()) {
+      replay_[a.word] = a.value;
+    } else if (it->second != a.value) {
+      violation(format("replay: read of %#" PRIx64 " observed %#" PRIx64
+                       " but the serial history holds %#" PRIx64,
+                       a.word, a.value, it->second));
+    }
+  }
+  for (const auto& kv : scratch_own_) replay_[kv.first] = kv.second;
+}
+
+void HistoryOracle::finalize(
+    const std::function<std::uint64_t(Addr)>& resolved_load) {
+  for (CoreId c = 0; c < staged_.size(); ++c) {
+    if (staged_[c].active) {
+      violation(format("core %u: transaction still active at end of run", c));
+    }
+    if (!parked_[c].empty()) {
+      violation(format("core %u: transaction still suspended at end of run", c));
+    }
+  }
+  drain_all();
+  window_.clear();
+  if (!resolved_load) return;
+  for (const auto& kv : replay_) {
+    const std::uint64_t actual = resolved_load(kv.first);
+    if (actual != kv.second) {
+      violation(format("final state: word %#" PRIx64 " is %#" PRIx64
+                       " but serial replay yields %#" PRIx64,
+                       kv.first, actual, kv.second));
+    }
+  }
+}
+
+void HistoryOracle::violation(std::string msg) {
+  // Cap the report; one broken invariant tends to cascade.
+  if (violations_.size() < 64) violations_.push_back(std::move(msg));
+}
+
+}  // namespace suvtm::check

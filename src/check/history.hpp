@@ -1,0 +1,171 @@
+// History oracle: records every committed access the simulator performs and
+// proves the run serializable (src/check's half of the paper's correctness
+// contract; the structural audits in audit.hpp are the other half).
+//
+// Two independent proofs over one recorded history:
+//
+//  1. Serial replay (view equality). Every transaction's word-granularity
+//     reads and writes are replayed in *serialization order* against a
+//     model memory. Each replayed read must return exactly the value the
+//     simulated core observed, and at end of run the model memory must
+//     equal the simulator's resolved backing store word for word. This
+//     proves the committed history view-equivalent to a serial one.
+//
+//  2. Conflict ordering (conflict serializability). For every pair of
+//     committed transactions whose isolation windows overlapped, every
+//     conflicting line access pair (r-w, w-r, w-w) must be ordered the same
+//     way the serialization order is -- i.e. all conflict-graph edges point
+//     forward, so the graph is acyclic by construction.
+//
+// Serialization order: eager transactions serialize at COMMIT START (their
+// in-place writes and all reads precede it; isolation covers the rest of
+// the commit window), lazy (DynTM) transactions at COMMIT DONE (their
+// buffered/redirected writes publish there). This distinction matters: a
+// lazy committer that exhausts its bounded commit wait may publish while an
+// eager reader is still paying its commit latency, and that history is
+// serializable only with the eager transaction ordered first. A lazy
+// transaction's effective write time is likewise its publish cycle.
+//
+// The oracle is streaming: sealed transactions replay as soon as no
+// earlier-serializing transaction can still be in flight, so memory is
+// bounded by the run's data footprint plus the live-transaction window --
+// not by history length.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/flat_hash.hpp"
+#include "common/types.hpp"
+
+namespace suvtm::check {
+
+/// Aligned-word access as observed by the simulated core.
+struct AccessRec {
+  Addr word;
+  std::uint64_t value;
+  Cycle cycle;
+  bool is_write;
+};
+
+class HistoryOracle {
+ public:
+  explicit HistoryOracle(std::uint32_t num_cores);
+
+  // ---- recording hooks (driven by check::Checker) --------------------------
+  void on_begin(CoreId c, Cycle now);
+  void on_frame_push(CoreId c);
+  void on_frame_pop(CoreId c);
+  /// Inner frame partially aborted: its accesses are expunged (their
+  /// version-state was rolled back), its isolation footprint remains.
+  void on_frame_rollback(CoreId c);
+  void on_read(CoreId c, bool in_tx, Addr word, std::uint64_t value,
+               Cycle now);
+  void on_write(CoreId c, bool in_tx, Addr word, std::uint64_t value,
+                Cycle now);
+  void on_commit_start(CoreId c, Cycle now);
+  /// Outermost commit completed; the transaction's effects are published.
+  void on_commit_done(CoreId c, Cycle now, bool lazy);
+  void on_abort_done(CoreId c);
+  void on_suspend(CoreId c);
+  void on_resume(CoreId c);
+
+  /// Drain every pending record, then compare the replayed model memory
+  /// against the simulator (resolved_load must follow live redirections).
+  /// Violations found at any stage accumulate in violations().
+  void finalize(const std::function<std::uint64_t(Addr)>& resolved_load);
+
+  std::uint64_t committed_txns() const { return commit_seq_; }
+  std::uint64_t replayed_accesses() const { return replayed_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// Model memory after finalize(): the serial-replay value of every word
+  /// any committed access touched.
+  const FlatMap<Addr, std::uint64_t>& replay_image() const { return replay_; }
+
+ private:
+  static constexpr Cycle kNever = ~Cycle{0};
+
+  /// First-touch times of one line by one transaction. `write` is the first
+  /// physical in-place store for eager transactions and the publish cycle
+  /// (assigned at seal) for lazy ones.
+  struct Touch {
+    Cycle first_read = kNever;
+    Cycle first_write = kNever;
+  };
+  struct TouchRec {
+    LineAddr line;
+    Cycle read;
+    Cycle write;
+  };
+
+  /// An in-flight (or suspended) transaction's recorded state.
+  struct Staged {
+    bool active = false;
+    bool committing = false;
+    Cycle begin_cycle = 0;
+    Cycle commit_start = 0;
+    std::vector<AccessRec> accesses;
+    std::vector<std::size_t> frame_marks;
+    FlatMap<LineAddr, Touch> touches;
+  };
+
+  /// Sealed accesses awaiting replay (kept until the serialization horizon
+  /// passes their key).
+  struct PendingTxn {
+    std::uint64_t key;
+    std::uint64_t seq;
+    std::vector<AccessRec> accesses;
+  };
+  struct PendingNonTx {
+    std::uint64_t key;
+    AccessRec access;
+  };
+
+  /// Sealed conflict footprint retained while a live transaction's window
+  /// can still overlap it.
+  struct SealedWindow {
+    std::uint64_t key;
+    std::uint64_t seq;
+    Cycle begin_cycle;
+    Cycle release_cycle;
+    bool lazy;
+    std::vector<TouchRec> touches;
+  };
+
+  /// Serialization key: cycle-ordered, eager-before-lazy at equal cycles.
+  static std::uint64_t make_key(Cycle cycle, bool lazy) {
+    return (static_cast<std::uint64_t>(cycle) << 1) | (lazy ? 1u : 0u);
+  }
+
+  void record_access(CoreId c, bool in_tx, Addr word, std::uint64_t value,
+                     bool is_write, Cycle now);
+  static void touch(Staged& s, LineAddr line, bool is_write, Cycle now);
+  static void rebuild_touches(Staged& s);
+  void seal(CoreId c, Cycle now, bool lazy);
+  void check_window_conflicts(const SealedWindow& b);
+  void prune_window(Cycle now);
+  /// Replay every pending record whose key is below the safe horizon.
+  void drain(Cycle now);
+  void drain_all();
+  void replay_txn(const std::vector<AccessRec>& accesses);
+  void replay_one(const AccessRec& a);
+  std::uint64_t horizon(Cycle now) const;
+  void violation(std::string msg);
+
+  std::vector<Staged> staged_;                    // by core
+  std::vector<std::vector<Staged>> parked_;       // suspended, FIFO per core
+  std::deque<PendingTxn> pending_txns_;           // sorted by (key, seq)
+  std::deque<PendingNonTx> pending_nontx_;        // keys arrive monotonically
+  std::vector<SealedWindow> window_;
+  FlatMap<Addr, std::uint64_t> replay_;           // model memory
+  FlatMap<Addr, std::uint64_t> scratch_own_;      // per-replayed-txn writes
+  std::uint64_t commit_seq_ = 0;
+  std::uint64_t seal_seq_ = 0;
+  std::uint64_t replayed_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace suvtm::check

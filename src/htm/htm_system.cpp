@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/check.hpp"
+
 namespace suvtm::htm {
 
 HtmSystem::HtmSystem(const sim::SimConfig& cfg, mem::MemorySystem& mem,
@@ -12,6 +14,7 @@ HtmSystem::HtmSystem(const sim::SimConfig& cfg, mem::MemorySystem& mem,
       suspended_writes_(cfg.htm.signature_bits, cfg.htm.signature_hashes) {
   txns_.reserve(cfg.mem.num_cores);
   for (CoreId c = 0; c < cfg.mem.num_cores; ++c) {
+    // lint: allow(alloc-in-loop) -- one-time construction, not a sim path
     txns_.push_back(std::make_unique<Txn>(c, params_.signature_bits,
                                           params_.signature_hashes));
     txn_view_.push_back(txns_.back().get());
@@ -43,6 +46,8 @@ bool HtmSystem::suspend_txn(CoreId core) {
   t.reset_committed();  // fresh descriptor for the next scheduled thread
   conflicts_.set_isolation(core, false);
   rebuild_suspended_summary();
+  vm_->on_suspend(core);
+  SUVTM_CHECK_HOOK(checker_, on_suspend(core));
   return true;
 }
 
@@ -54,10 +59,27 @@ bool HtmSystem::resume_txn(CoreId core) {
       conflicts_.set_isolation(core, true);
       suspended_.erase(it);
       rebuild_suspended_summary();
+      vm_->on_resume(core);
+      SUVTM_CHECK_HOOK(checker_, on_resume(core));
       return true;
     }
   }
   return false;
+}
+
+std::size_t HtmSystem::doom_suspended_conflicting(const Txn& committer) {
+  std::size_t doomed = 0;
+  for (auto& s : suspended_) {
+    if (s.txn.doomed) continue;
+    for (LineAddr l : committer.write_lines) {
+      if (s.txn.read_lines.contains(l) || s.txn.write_lines.contains(l)) {
+        s.txn.doomed = true;
+        ++doomed;
+        break;
+      }
+    }
+  }
+  return doomed;
 }
 
 void HtmSystem::doom(CoreId victim) {

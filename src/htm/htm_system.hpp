@@ -12,6 +12,10 @@
 #include "mem/memory_system.hpp"
 #include "sim/config.hpp"
 
+namespace suvtm::check {
+class Checker;
+}
+
 namespace suvtm::htm {
 
 struct HtmStats {
@@ -41,9 +45,19 @@ class HtmSystem {
   std::vector<Txn*>& txn_view() { return txn_view_; }
 
   VersionManager& vm() { return *vm_; }
+  const VersionManager& vm() const { return *vm_; }
   ConflictManager& conflicts() { return conflicts_; }
   mem::MemorySystem& mem() { return mem_; }
+  const mem::MemorySystem& mem() const { return mem_; }
   const sim::HtmParams& params() const { return params_; }
+  std::uint32_t num_cores() const {
+    return static_cast<std::uint32_t>(txns_.size());
+  }
+
+  /// Optional correctness checker; receives suspend/resume notifications
+  /// (all other hooks fire from ThreadContext, which owns the clock).
+  void set_checker(check::Checker* ck) { checker_ = ck; }
+  check::Checker* checker() { return checker_; }
 
   HtmStats& stats() { return stats_; }
   const HtmStats& stats() const { return stats_; }
@@ -63,6 +77,22 @@ class HtmSystem {
   bool resume_txn(CoreId core);
   std::size_t suspended_count() const { return suspended_.size(); }
 
+  /// Visit each suspended transaction as fn(core, txn) in park order.
+  template <class Fn>
+  void for_each_suspended(Fn&& fn) const {
+    for (const auto& s : suspended_) fn(s.core, s.txn);
+  }
+  const Signature& suspended_read_summary() const { return suspended_reads_; }
+  const Signature& suspended_write_summary() const {
+    return suspended_writes_;
+  }
+
+  /// Committer-wins against parked victims: mark every suspended
+  /// transaction whose read or write set intersects `committer`'s write set
+  /// as doomed (it aborts on resume; it cannot be aborted while parked).
+  /// Returns the number of freshly doomed transactions.
+  std::size_t doom_suspended_conflicting(const Txn& committer);
+
   // --- Lazy-commit arbitration token (one committer at a time) -------------
   bool commit_token_free() const { return token_holder_ == kNoCore; }
   bool acquire_commit_token(CoreId c);
@@ -79,6 +109,7 @@ class HtmSystem {
   std::vector<Txn*> txn_view_;
   HtmStats stats_;
   CoreId token_holder_ = kNoCore;
+  check::Checker* checker_ = nullptr;
 
   struct Suspended {
     CoreId core;

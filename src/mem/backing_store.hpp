@@ -44,6 +44,14 @@ class BackingStore {
 
   std::size_t pages_touched() const { return pages_.size(); }
 
+  /// Visit the page index of every allocated page (the word at byte address
+  /// `id * kPageBytes + i * kWordBytes` is readable via load). Used by the
+  /// checker's full-image sweeps; pages are never freed.
+  template <class Fn>
+  void for_each_page_id(Fn&& fn) const {
+    for (const auto& kv : pages_) fn(kv.first);
+  }
+
  private:
   static constexpr std::size_t kWordsPerPage = kPageBytes / kWordBytes;
   using Page = std::array<std::uint64_t, kWordsPerPage>;

@@ -90,6 +90,13 @@ class Cache {
       if (ln->state != CohState::kInvalid) fn(*ln);
     }
   }
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    const Line* const end = lines_.get() + line_count_;
+    for (const Line* ln = lines_.get(); ln != end; ++ln) {
+      if (ln->state != CohState::kInvalid) fn(*ln);
+    }
+  }
 
   /// Number of valid lines currently in `l`'s set.
   std::uint32_t set_occupancy(LineAddr l) const;

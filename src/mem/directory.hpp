@@ -36,6 +36,12 @@ class Directory {
 
   std::size_t tracked_lines() const { return map_.size(); }
 
+  /// Visit every tracked (line, entry) pair (structural audits).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& kv : map_) fn(kv.first, kv.second);
+  }
+
  private:
   FlatMap<LineAddr, DirEntry> map_;
 };

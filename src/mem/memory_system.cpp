@@ -31,6 +31,19 @@ MemorySystem::MemorySystem(const sim::MemParams& p)
   spec_lines_.resize(p.num_cores);
 }
 
+bool MemorySystem::l2_insert_with_recall(LineAddr l, CohState st) {
+  const Cache::Victim v = l2_.insert(l, st);
+  if (!v.valid) return false;
+  const DirEntry* de = dir_.find(v.line);
+  if (!de || (de->sharers == 0 && de->owner == kNoCore)) return false;
+  ++stats_.l2_recalls;
+  for (std::uint32_t m = holder_mask(*de); m != 0; m &= m - 1) {
+    l1_[std::countr_zero(m)].invalidate(v.line);
+  }
+  dir_.entry(v.line) = DirEntry{};
+  return true;
+}
+
 Cycle MemorySystem::fetch_from_l2_or_memory(LineAddr l, std::uint32_t /*bank_tile*/) {
   if (Cache::Line* hit = l2_.find(l)) {
     ++stats_.l2_hits;
@@ -39,18 +52,9 @@ Cycle MemorySystem::fetch_from_l2_or_memory(LineAddr l, std::uint32_t /*bank_til
   }
   ++stats_.l2_misses;
   // Fill the L2; an L2 eviction recalls any L1 copies of the victim.
-  Cache::Victim v = l2_.insert(l, CohState::kExclusive);
   Cycle extra = 0;
-  if (v.valid) {
-    const DirEntry* de = dir_.find(v.line);
-    if (de && (de->sharers != 0 || de->owner != kNoCore)) {
-      ++stats_.l2_recalls;
-      extra += params_.directory_latency + mesh_.average_latency();
-      for (std::uint32_t m = holder_mask(*de); m != 0; m &= m - 1) {
-        l1_[std::countr_zero(m)].invalidate(v.line);
-      }
-      dir_.entry(v.line) = DirEntry{};
-    }
+  if (l2_insert_with_recall(l, CohState::kExclusive)) {
+    extra += params_.directory_latency + mesh_.average_latency();
   }
   return params_.l2_latency + params_.memory_latency + extra;
 }
@@ -62,7 +66,10 @@ void MemorySystem::l1_eviction(CoreId core, const Cache::Victim& v) {
   }
   if (v.state == CohState::kModified) {
     ++stats_.writebacks;
-    l2_.insert(v.line, CohState::kModified);
+    // Recall-aware insert: the writeback's L2 fill can itself evict a line
+    // other cores still hold. The recall's latency is off the requester's
+    // critical path (background writeback), so no cycles are charged here.
+    l2_insert_with_recall(v.line, CohState::kModified);
   }
   dir_.remove_core(v.line, core);
 }
@@ -123,7 +130,8 @@ AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
       if (Cache::Line* oln = l1_[e->owner].find(l)) {
         if (oln->state == CohState::kModified) {
           ++stats_.writebacks;
-          l2_.insert(l, CohState::kModified);
+          l2_insert_with_recall(l, CohState::kModified);
+          e = &dir_.entry(l);  // the recall path can touch the directory
         }
         oln->state = CohState::kShared;
       }
@@ -158,7 +166,8 @@ AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
     if (Cache::Line* oln = l1_[e->owner].find(l)) {
       if (oln->state == CohState::kModified) {
         ++stats_.writebacks;
-        l2_.insert(l, CohState::kModified);
+        l2_insert_with_recall(l, CohState::kModified);
+        e = &dir_.entry(l);  // the recall path can touch the directory
       }
     }
     l1_[e->owner].invalidate(l);

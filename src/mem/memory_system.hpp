@@ -85,12 +85,29 @@ class MemorySystem {
   const MemStats& stats() const { return stats_; }
   const Mesh& mesh() const { return mesh_; }
   Cache& l1(CoreId core) { return l1_[core]; }
+  const Cache& l1(CoreId core) const { return l1_[core]; }
+  Cache& l2() { return l2_; }
+  const Cache& l2() const { return l2_; }
+  Directory& directory() { return dir_; }
+  const Directory& directory() const { return dir_; }
+  const BackingStore& backing() const { return store_; }
+  /// Lines recorded as speculative for `core` (superset: may hold stale
+  /// entries for lines since evicted; every line whose SM bit IS set must
+  /// appear here -- the flash walks rely on it).
+  const std::vector<LineAddr>& speculative_lines(CoreId core) const {
+    return spec_lines_[core];
+  }
   Tlb& tlb(CoreId core) { return tlb_[core]; }
   const sim::MemParams& params() const { return params_; }
 
  private:
   Cycle fetch_from_l2_or_memory(LineAddr l, std::uint32_t bank_tile);
   void l1_eviction(CoreId core, const Cache::Victim& v);
+  /// Insert into the L2 and, if that evicted a line with L1 copies, recall
+  /// them (invalidate + directory reset). Returns true if a recall happened.
+  /// Every L2 fill must go through here: inserting without the recall
+  /// leaves L1 lines the inclusive L2 no longer backs.
+  bool l2_insert_with_recall(LineAddr l, CohState st);
 
   sim::MemParams params_;
   Mesh mesh_;

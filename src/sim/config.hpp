@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "common/types.hpp"
@@ -107,11 +108,35 @@ struct SuvParams {
   Cycle flash_abort = 2;
 };
 
+/// True when the SUVTM_CHECK environment variable asks for checking (any
+/// value other than empty/"0"). Read once per process so the same binary
+/// serves both the plain and the `_checked` ctest variants.
+inline bool check_enabled_by_env() {
+  static const bool v = [] {
+    const char* e = std::getenv("SUVTM_CHECK");
+    return e != nullptr && *e != '\0' && !(e[0] == '0' && e[1] == '\0');
+  }();
+  return v;
+}
+
+/// Runtime knobs for the correctness-checking subsystem (src/check). Only
+/// consulted when the hooks were compiled in (-DSUVTM_CHECK=ON); with the
+/// hooks compiled out this block is inert.
+struct CheckParams {
+  /// Master switch: record the access history, run the serializability
+  /// oracle at end of run, and audit structural invariants while running.
+  bool enabled = check_enabled_by_env();
+  /// Run the structural audits every this many commit/abort completions
+  /// (they always run once more at end of run).
+  std::uint32_t audit_interval = 64;
+};
+
 struct SimConfig {
   Scheme scheme = Scheme::kSuv;
   MemParams mem;
   HtmParams htm;
   SuvParams suv;
+  CheckParams check;
   std::uint64_t seed = 1;
   /// Safety valve: abort the simulation if it exceeds this many cycles.
   Cycle max_cycles = 5'000'000'000ull;

@@ -8,12 +8,17 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg) {
   mem_ = std::make_unique<mem::MemorySystem>(cfg_.mem);
   htm_ = std::make_unique<htm::HtmSystem>(cfg_, *mem_,
                                           make_version_manager(cfg_, *mem_));
+  if (check::kHooksCompiled && cfg_.check.enabled) {
+    checker_ = std::make_unique<check::Checker>(cfg_, *mem_, *htm_);
+    htm_->set_checker(checker_.get());
+  }
   breakdowns_.resize(cfg_.mem.num_cores);
   contexts_.reserve(cfg_.mem.num_cores);
   for (CoreId c = 0; c < cfg_.mem.num_cores; ++c) {
+    // lint: allow(alloc-in-loop) -- one-time construction, not a sim path
     contexts_.push_back(std::make_unique<ThreadContext>(
         c, cfg_, sched_, *mem_, *htm_, breakdowns_[c],
-        cfg_.seed * 0x100001b3ull + c));
+        cfg_.seed * 0x100001b3ull + c, checker_.get()));
   }
 }
 
@@ -31,6 +36,9 @@ void Simulator::spawn(CoreId c, ThreadTask task) {
 }
 
 void Simulator::run() {
+  // Snapshot the workload's built image before the first simulated event;
+  // the checker's end-of-run sweep diffs untouched words against it.
+  if (checker_) checker_->on_run_start();
   const bool finished = sched_.run(cfg_.max_cycles);
   for (auto& t : threads_) {
     if (t->error) std::rethrow_exception(t->error);
@@ -44,6 +52,10 @@ void Simulator::run() {
           "simulated thread never finished (deadlock in workload?)");
     }
   }
+  // Every thread ran to completion: drain the oracle, replay the history
+  // serially, and run the structural audits. Throws CheckFailure on any
+  // violation.
+  if (checker_) checker_->finalize();
 }
 
 Breakdown Simulator::total_breakdown() const {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/types.hpp"
 #include "htm/htm_system.hpp"
 #include "mem/memory_system.hpp"
@@ -28,6 +29,9 @@ class Simulator {
   htm::HtmSystem& htm() { return *htm_; }
   ThreadContext& context(CoreId c) { return *contexts_[c]; }
   std::uint32_t num_cores() const { return cfg_.mem.num_cores; }
+  /// The correctness checker, or nullptr when checking is compiled out or
+  /// disabled (cfg.check.enabled, defaulted from the SUVTM_CHECK env var).
+  check::Checker* checker() { return checker_.get(); }
 
   /// Create a barrier owned by this simulator (lives until destruction).
   Barrier& make_barrier(std::uint32_t parties);
@@ -57,6 +61,7 @@ class Simulator {
   Scheduler sched_;
   std::unique_ptr<mem::MemorySystem> mem_;
   std::unique_ptr<htm::HtmSystem> htm_;
+  std::unique_ptr<check::Checker> checker_;
   std::vector<Breakdown> breakdowns_;
   std::vector<std::unique_ptr<ThreadContext>> contexts_;
   std::vector<std::unique_ptr<Barrier>> barriers_;

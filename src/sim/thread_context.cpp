@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/check.hpp"
 #include "htm/htm_system.hpp"
 #include "sim/scheduler.hpp"
 
@@ -11,9 +12,9 @@ namespace suvtm::sim {
 ThreadContext::ThreadContext(CoreId core, const SimConfig& cfg,
                              Scheduler& sched, mem::MemorySystem& mem,
                              htm::HtmSystem& htm, Breakdown& breakdown,
-                             std::uint64_t rng_seed)
+                             std::uint64_t rng_seed, check::Checker* checker)
     : core_(core), cfg_(cfg), sched_(sched), mem_(mem), htm_(htm),
-      breakdown_(breakdown), rng_(rng_seed) {}
+      breakdown_(breakdown), rng_(rng_seed), checker_(checker) {}
 
 htm::Txn& ThreadContext::txn() { return htm_.txn(core_); }
 
@@ -37,6 +38,7 @@ void ThreadContext::start_abort(bool* aborted, std::coroutine_handle<> h) {
     htm::Txn& t2 = txn();
     if (t2.overflowed) ++htm_.stats().overflowed_attempts;
     htm_.vm().on_abort_done(t2);
+    SUVTM_CHECK_HOOK(checker_, on_abort_done(core_));
     htm_.conflicts().clear_wait(core_);
     t2.reset_attempt();  // timestamp survives: progress guarantee
     htm_.conflicts().set_isolation(core_, false);
@@ -74,6 +76,10 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
   }
 
   // Access granted: version-management bookkeeping, then the timed access.
+  SUVTM_CHECK_HOOK(checker_,
+                   on_access_granted(core_, line, exclusive, lazy));
+  [[maybe_unused]] const Addr word =
+      aw.addr & ~static_cast<Addr>(kWordBytes - 1);
   auto& vm = htm_.vm();
   Cycle extra = 0;
   Cycle extra_if_l1_hit = 0;
@@ -105,6 +111,8 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
       if (act.buffered) {
         // Served from the lazy redo buffer: an L1-speed private access.
         aw.value = *act.buffered;
+        SUVTM_CHECK_HOOK(checker_,
+                         on_read(core_, true, word, aw.value, sched_.now()));
         const Cycle lat = cfg_.mem.l1_latency + act.extra;
         attempt_.add_trans(lat);
         sched_.resume_after(lat, h);
@@ -125,6 +133,8 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
 
   if (buffered_store) {
     t.redo[aw.addr] = aw.store_value;
+    SUVTM_CHECK_HOOK(
+        checker_, on_write(core_, true, word, aw.store_value, sched_.now()));
     const Cycle lat = cfg_.mem.l1_latency + extra;
     attempt_.add_trans(lat);
     sched_.resume_after(lat, h);
@@ -141,8 +151,12 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
   if (aw.is_store) {
     mem_.store_word(target, aw.store_value);
     if (tx) mem_.mark_speculative(core_, line_of(target));
+    SUVTM_CHECK_HOOK(
+        checker_, on_write(core_, tx, word, aw.store_value, sched_.now()));
   } else {
     aw.value = mem_.load_word(target);
+    SUVTM_CHECK_HOOK(checker_,
+                     on_read(core_, tx, word, aw.value, sched_.now()));
   }
 
   // Table-probe cycles ride the coherence request on a data-cache miss
@@ -160,6 +174,7 @@ void ThreadContext::issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h) {
     ++t.depth;
     t.frames.push_back({t.undo.size(), t.read_sig.adds(), t.write_sig.adds(),
                         htm_.vm().nest_mark(t)});
+    SUVTM_CHECK_HOOK(checker_, on_frame_push(core_));
     ++htm_.stats().nested_begins;
     attempt_.add_trans(cfg_.htm.checkpoint_latency);
     sched_.resume_after(cfg_.htm.checkpoint_latency, h);
@@ -176,6 +191,7 @@ void ThreadContext::issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h) {
   }
   ++t.attempts;
   ++htm_.stats().begins;
+  SUVTM_CHECK_HOOK(checker_, on_begin(core_, sched_.now()));
   const Cycle cost = cfg_.htm.checkpoint_latency + htm_.vm().on_begin(t);
   attempt_.add_trans(cost);
   sched_.resume_after(cost, h);
@@ -193,6 +209,7 @@ void ThreadContext::issue_commit(CommitAwaiter& aw, std::coroutine_handle<> h) {
     // Closed-nested commit: merge into the parent (keep signatures/log).
     --t.depth;
     t.frames.pop_back();
+    SUVTM_CHECK_HOOK(checker_, on_frame_pop(core_));
     attempt_.add_trans(1);
     sched_.resume_after(1, h);
     return;
@@ -215,12 +232,15 @@ void ThreadContext::issue_commit(CommitAwaiter& aw, std::coroutine_handle<> h) {
 
   t.state = htm::TxnState::kCommitting;
   htm_.conflicts().clear_wait(core_);  // a committer waits on no one
+  SUVTM_CHECK_HOOK(checker_, on_commit_start(core_, sched_.now()));
   const Cycle cost = htm_.vm().commit_cost(t);
   breakdown_.add(Bucket::kCommitting, cost);
   sched_.after(cost, [this, h] {
     htm::Txn& t2 = txn();
     if (t2.overflowed) ++htm_.stats().overflowed_attempts;
     htm_.vm().on_commit_done(t2);
+    SUVTM_CHECK_HOOK(checker_,
+                     on_commit_done(core_, sched_.now(), t2.lazy));
     if (t2.lazy) htm_.release_commit_token(core_);
     htm_.conflicts().clear_wait(core_);
     attempt_.settle_commit(breakdown_);
@@ -245,6 +265,7 @@ void ThreadContext::issue_rollback_inner(RollbackInnerAwaiter& aw,
   t.frames.pop_back();
   --t.depth;
   const Cycle cost = htm_.vm().partial_abort(t, frame.vm_mark);
+  SUVTM_CHECK_HOOK(checker_, on_frame_rollback(core_));
   // The frame's work was wasted; the partial rollback holds isolation.
   breakdown_.add(Bucket::kAborting, cost);
   aw.rolled_back = true;

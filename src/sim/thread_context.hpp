@@ -14,6 +14,9 @@
 #include "sim/config.hpp"
 #include "sim/task.hpp"
 
+namespace suvtm::check {
+class Checker;
+}
 namespace suvtm::htm {
 class HtmSystem;
 struct Txn;
@@ -30,7 +33,8 @@ class ThreadContext {
  public:
   ThreadContext(CoreId core, const SimConfig& cfg, Scheduler& sched,
                 mem::MemorySystem& mem, htm::HtmSystem& htm,
-                Breakdown& breakdown, std::uint64_t rng_seed);
+                Breakdown& breakdown, std::uint64_t rng_seed,
+                check::Checker* checker = nullptr);
 
   // ---- awaitables ----------------------------------------------------------
 
@@ -169,6 +173,7 @@ class ThreadContext {
   Breakdown& breakdown_;
   AttemptAccount attempt_;
   Rng rng_;
+  check::Checker* checker_;  // nullptr unless correctness checking is on
 };
 
 }  // namespace suvtm::sim

@@ -102,6 +102,31 @@ class RedirectTable {
   std::size_t total_entries() const { return entries_.size(); }
   const TableStats& stats() const { return stats_; }
   const SummarySignature& summary(CoreId core) const { return summary_[core]; }
+  /// Mutable summary access for corruption-injection tests ONLY.
+  SummarySignature& summary_mut(CoreId core) { return summary_[core]; }
+
+  // --- structural-audit inspection -----------------------------------------
+  /// Visit every live redirect entry (ground truth, both hardware levels
+  /// and the memory table).
+  template <class Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& kv : entries_) fn(kv.second);
+  }
+  /// Originals pinned in `core`'s first-level table (transient entries).
+  const FlatSet<LineAddr>& pinned(CoreId core) const {
+    return l1_[core].pinned;
+  }
+  /// Non-pinned originals cached in `core`'s first-level table (-> lru tick).
+  const FlatMap<LineAddr, std::uint64_t>& l1_cached(CoreId core) const {
+    return l1_[core].cached;
+  }
+  /// Visit every original cached in the shared second-level table.
+  template <class Fn>
+  void for_each_l2_way(Fn&& fn) const {
+    for (const auto& s : l2_sets_) {
+      for (const auto& w : s.ways) fn(w.first);
+    }
+  }
 
  private:
   struct L1Table {

@@ -84,6 +84,11 @@ void DynTm::doom_conflicting(const htm::Txn& committer) {
       }
     }
   }
+  // Committer-wins must reach descheduled victims too: a suspended
+  // transaction that read a line this commit publishes would otherwise
+  // resume and commit its stale view. It cannot be aborted while parked,
+  // so it is marked doomed and aborts on resume.
+  dstats_.lazy_commit_dooms += htm_->doom_suspended_conflicting(committer);
 }
 
 Cycle DynTm::commit_cost(htm::Txn& txn) {

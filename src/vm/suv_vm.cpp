@@ -12,7 +12,8 @@ Addr with_line(LineAddr l, Addr original) {
 
 SuvVm::SuvVm(const sim::SuvParams& p, mem::MemorySystem& mem,
              std::uint32_t num_cores)
-    : params_(p), mem_(mem), table_(p, num_cores), owned_(num_cores) {
+    : params_(p), mem_(mem), table_(p, num_cores), owned_(num_cores),
+      suspended_owned_(num_cores) {
   pools_.reserve(num_cores);
   for (std::uint32_t c = 0; c < num_cores; ++c) {
     pools_.push_back(std::make_unique<suv::PreservedPool>(c));
@@ -147,6 +148,26 @@ Cycle SuvVm::partial_abort(htm::Txn& txn, std::size_t mark) {
     owned.pop_back();
   }
   return params_.flash_abort;
+}
+
+void SuvVm::on_suspend(CoreId core) {
+  // The ownership list is keyed by core, not by transaction: park it with
+  // the suspended transaction or the core's NEXT transaction inherits the
+  // suspended one's transient entries and flash-flips them at its own
+  // commit/abort (publishing or discarding a parked transaction's specula-
+  // tive versions).
+  suspended_owned_[core].push_back(std::move(owned_[core]));
+  owned_[core].clear();
+}
+
+void SuvVm::on_resume(CoreId core) {
+  // HtmSystem::resume_txn restores the FIRST suspended transaction for the
+  // core; restore its ownership list in the same FIFO order.
+  assert(owned_[core].empty() &&
+         "resume with a running transaction's entries still live");
+  assert(!suspended_owned_[core].empty());
+  owned_[core] = std::move(suspended_owned_[core].front());
+  suspended_owned_[core].erase(suspended_owned_[core].begin());
 }
 
 void SuvVm::on_abort_done(htm::Txn& txn) {

@@ -1,0 +1,257 @@
+// HistoryOracle unit tests: hand-built histories driven straight into the
+// recording hooks. Serializable histories must finalize clean; histories
+// with stale reads, wrong serialization orders or corrupted final state
+// must be flagged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "check/history.hpp"
+#include "common/flat_hash.hpp"
+#include "common/types.hpp"
+
+namespace suvtm::check {
+namespace {
+
+constexpr Addr kX = 0x1000;
+constexpr Addr kY = 0x2000;
+constexpr Addr kZ = 0x3000;
+
+bool has_violation(const HistoryOracle& o, const std::string& needle) {
+  return std::any_of(o.violations().begin(), o.violations().end(),
+                     [&](const std::string& v) {
+                       return v.find(needle) != std::string::npos;
+                     });
+}
+
+/// finalize() against a word -> value table (absent words read as zero).
+void finalize_with(HistoryOracle& o,
+                   std::initializer_list<std::pair<Addr, std::uint64_t>> img) {
+  FlatMap<Addr, std::uint64_t> map;
+  for (const auto& kv : img) map.emplace(kv.first, kv.second);
+  o.finalize([&](Addr a) {
+    auto it = map.find(a);
+    return it == map.end() ? 0ull : it->second;
+  });
+}
+
+TEST(HistoryOracleTest, EmptyHistoryFinalizesClean) {
+  HistoryOracle o(4);
+  finalize_with(o, {});
+  EXPECT_TRUE(o.violations().empty());
+  EXPECT_EQ(o.committed_txns(), 0u);
+}
+
+TEST(HistoryOracleTest, SerialEagerHistoryReplaysClean) {
+  HistoryOracle o(4);
+  // T0 writes x=1; T1 later reads x=1 and writes y=2. Disjoint windows.
+  o.on_begin(0, 10);
+  o.on_write(0, true, kX, 1, 12);
+  o.on_commit_start(0, 20);
+  o.on_commit_done(0, 25, /*lazy=*/false);
+
+  o.on_begin(1, 30);
+  o.on_read(1, true, kX, 1, 32);
+  o.on_write(1, true, kY, 2, 34);
+  o.on_commit_start(1, 40);
+  o.on_commit_done(1, 45, false);
+
+  finalize_with(o, {{kX, 1}, {kY, 2}});
+  EXPECT_TRUE(o.violations().empty()) << o.violations().front();
+  EXPECT_EQ(o.committed_txns(), 2u);
+  EXPECT_EQ(o.replayed_accesses(), 3u);
+  ASSERT_TRUE(o.replay_image().contains(kX));
+  EXPECT_EQ(o.replay_image().find(kX)->second, 1u);
+  EXPECT_EQ(o.replay_image().find(kY)->second, 2u);
+}
+
+TEST(HistoryOracleTest, StaleReadIsFlagged) {
+  HistoryOracle o(4);
+  o.on_begin(0, 10);
+  o.on_write(0, true, kX, 1, 12);
+  o.on_commit_start(0, 20);
+  o.on_commit_done(0, 25, false);
+
+  // T1 starts after T0 committed but claims to have read the old x=0:
+  // the serial replay must observe the mismatch.
+  o.on_begin(1, 30);
+  o.on_read(1, true, kX, 0, 32);
+  o.on_commit_start(1, 40);
+  o.on_commit_done(1, 45, false);
+
+  finalize_with(o, {{kX, 1}});
+  EXPECT_TRUE(has_violation(o, "replay:"));
+}
+
+TEST(HistoryOracleTest, FinalStateMismatchIsFlagged) {
+  HistoryOracle o(4);
+  o.on_begin(0, 10);
+  o.on_write(0, true, kX, 5, 12);
+  o.on_commit_start(0, 20);
+  o.on_commit_done(0, 25, false);
+
+  finalize_with(o, {{kX, 7}});  // simulator claims 7, history says 5
+  EXPECT_TRUE(has_violation(o, "final state:"));
+}
+
+TEST(HistoryOracleTest, ConflictAgainstSerializationOrderIsFlagged) {
+  HistoryOracle o(4);
+  // Overlapping windows. T0 reads x (old value) at cycle 30; T1 writes x
+  // in place at cycle 40 but serializes FIRST (commit start 50 < 60).
+  // The r-w edge T0 -> T1 contradicts the serialization order T1 -> T0.
+  o.on_begin(0, 10);
+  o.on_read(0, true, kX, 0, 30);
+  o.on_begin(1, 20);
+  o.on_write(1, true, kX, 1, 40);
+  o.on_commit_start(1, 50);
+  o.on_commit_done(1, 55, false);
+  o.on_commit_start(0, 60);
+  o.on_commit_done(0, 65, false);
+
+  finalize_with(o, {{kX, 1}});
+  EXPECT_TRUE(has_violation(o, "conflict order:"));
+}
+
+TEST(HistoryOracleTest, LazyPublishAfterEagerCommitStartIsSerializable) {
+  HistoryOracle o(4);
+  // The DynTM bounded-wait shape: a lazy committer publishes at cycle 40,
+  // after the eager reader's commit START (30) but before its commit DONE
+  // (45). Eager serializes at commit start, lazy at publish, and the lazy
+  // write's effective time is its publish cycle -- so the eager read of
+  // the pre-publish value is consistent and the history is serializable.
+  o.on_begin(1, 5);
+  o.on_write(1, true, kX, 9, 15);  // buffered; publishes at commit done
+  o.on_begin(0, 10);
+  o.on_read(0, true, kX, 0, 20);   // pre-publish value
+  o.on_commit_start(0, 30);
+  o.on_commit_start(1, 35);
+  o.on_commit_done(1, 40, /*lazy=*/true);
+  o.on_commit_done(0, 45, false);
+
+  finalize_with(o, {{kX, 9}});
+  EXPECT_TRUE(o.violations().empty()) << o.violations().front();
+  EXPECT_EQ(o.replay_image().find(kX)->second, 9u);
+}
+
+TEST(HistoryOracleTest, EagerReadAfterLazyPublishOfOldValueIsFlagged) {
+  HistoryOracle o(4);
+  // Same shape, but the eager transaction reads AFTER the lazy publish and
+  // still claims the old value: its read (cycle 42) follows the lazy
+  // effective write (40) while it serializes first (30 < 40) -- the w-r
+  // conflict points against the serialization order.
+  o.on_begin(1, 5);
+  o.on_write(1, true, kX, 9, 15);
+  o.on_begin(0, 10);
+  o.on_commit_start(0, 30);
+  o.on_commit_start(1, 35);
+  o.on_commit_done(1, 40, true);
+  o.on_read(0, true, kX, 0, 42);  // stale: publish already happened
+  o.on_commit_done(0, 45, false);
+
+  finalize_with(o, {{kX, 9}});
+  EXPECT_TRUE(has_violation(o, "conflict order:"));
+}
+
+TEST(HistoryOracleTest, AbortedTransactionLeavesNoTrace) {
+  HistoryOracle o(4);
+  o.on_begin(0, 10);
+  o.on_write(0, true, kX, 9, 12);
+  o.on_abort_done(0);
+
+  o.on_begin(0, 30);
+  o.on_write(0, true, kY, 3, 32);
+  o.on_commit_start(0, 40);
+  o.on_commit_done(0, 45, false);
+
+  finalize_with(o, {{kY, 3}});
+  EXPECT_TRUE(o.violations().empty()) << o.violations().front();
+  EXPECT_EQ(o.committed_txns(), 1u);
+  EXPECT_FALSE(o.replay_image().contains(kX));
+}
+
+TEST(HistoryOracleTest, RolledBackFrameIsExpunged) {
+  HistoryOracle o(4);
+  o.on_begin(0, 10);
+  o.on_write(0, true, kX, 1, 12);
+  o.on_frame_push(0);
+  o.on_write(0, true, kY, 2, 14);
+  o.on_frame_rollback(0);  // inner frame aborted: y write undone
+  o.on_frame_push(0);
+  o.on_write(0, true, kZ, 3, 16);
+  o.on_frame_pop(0);       // inner frame committed: z write survives
+  o.on_commit_start(0, 20);
+  o.on_commit_done(0, 25, false);
+
+  finalize_with(o, {{kX, 1}, {kZ, 3}});
+  EXPECT_TRUE(o.violations().empty()) << o.violations().front();
+  EXPECT_TRUE(o.replay_image().contains(kX));
+  EXPECT_FALSE(o.replay_image().contains(kY));
+  EXPECT_TRUE(o.replay_image().contains(kZ));
+}
+
+TEST(HistoryOracleTest, NonTransactionalAccessesInterleave) {
+  HistoryOracle o(4);
+  o.on_write(0, false, kX, 3, 5);  // plain store before any transaction
+  o.on_begin(1, 10);
+  o.on_read(1, true, kX, 3, 12);
+  o.on_write(1, true, kY, 4, 14);
+  o.on_commit_start(1, 20);
+  o.on_commit_done(1, 25, false);
+  o.on_read(0, false, kY, 4, 30);  // plain load after the commit
+
+  finalize_with(o, {{kX, 3}, {kY, 4}});
+  EXPECT_TRUE(o.violations().empty()) << o.violations().front();
+}
+
+TEST(HistoryOracleTest, SuspendParksAndResumeRestoresHistory) {
+  HistoryOracle o(4);
+  // Core 0 starts a transaction, gets descheduled, runs an unrelated
+  // transaction, then resumes and commits the first one.
+  o.on_begin(0, 10);
+  o.on_write(0, true, kX, 1, 12);
+  o.on_suspend(0);
+
+  o.on_begin(0, 20);
+  o.on_write(0, true, kY, 2, 22);
+  o.on_commit_start(0, 30);
+  o.on_commit_done(0, 35, false);
+
+  o.on_resume(0);
+  o.on_read(0, true, kX, 1, 40);  // reads its own pre-suspend write
+  o.on_commit_start(0, 50);
+  o.on_commit_done(0, 55, false);
+
+  finalize_with(o, {{kX, 1}, {kY, 2}});
+  EXPECT_TRUE(o.violations().empty()) << o.violations().front();
+  EXPECT_EQ(o.committed_txns(), 2u);
+}
+
+TEST(HistoryOracleTest, TransactionLeftActiveAtEndIsFlagged) {
+  HistoryOracle o(4);
+  o.on_begin(0, 10);
+  o.on_write(0, true, kX, 1, 12);
+  finalize_with(o, {});
+  EXPECT_TRUE(has_violation(o, "still active"));
+}
+
+TEST(HistoryOracleTest, WriteWriteOrderDecidesFinalValue) {
+  HistoryOracle o(4);
+  // Two disjoint-window writers to the same word: the later-serializing
+  // one must win in the replay image.
+  o.on_begin(0, 10);
+  o.on_write(0, true, kX, 1, 12);
+  o.on_commit_start(0, 20);
+  o.on_commit_done(0, 25, false);
+  o.on_begin(1, 30);
+  o.on_write(1, true, kX, 2, 32);
+  o.on_commit_start(1, 40);
+  o.on_commit_done(1, 45, false);
+
+  finalize_with(o, {{kX, 2}});
+  EXPECT_TRUE(o.violations().empty()) << o.violations().front();
+  EXPECT_EQ(o.replay_image().find(kX)->second, 2u);
+}
+
+}  // namespace
+}  // namespace suvtm::check

@@ -32,7 +32,7 @@ class SuvOperationsTest : public ::testing::Test {
 // needs no table lookup, and reads the original location.
 sim::ThreadTask fig4b(sim::Simulator& sim, vm::SuvVm& vm,
                       sim::ThreadContext& tc) {
-  sim.mem().store_word(0x00 + 0x100000, 12);
+  (void)sim;
   co_await tc.tx_begin(1);
   const auto before = vm.table().stats().summary_filtered;
   const std::uint64_t r1 = co_await tc.load(0x00 + 0x100000);
@@ -42,6 +42,9 @@ sim::ThreadTask fig4b(sim::Simulator& sim, vm::SuvVm& vm,
 }
 
 TEST_F(SuvOperationsTest, Fig4b_UnredirectedLoad) {
+  // Seed before run(): the checker snapshots the image at run start, so
+  // host-side writes after that point would trip the untouched-word sweep.
+  sim_.mem().store_word(0x00 + 0x100000, 12);
   sim_.spawn(0, fig4b(sim_, *vm_, sim_.context(0)));
   run();
   EXPECT_EQ(vm_->table().total_entries(), 0u);
@@ -116,7 +119,7 @@ TEST_F(SuvOperationsTest, Fig4d_RedirectedLoadAndToggleStore) {
 // states without data movement.
 sim::ThreadTask fig4f(sim::Simulator& sim, vm::SuvVm& vm,
                       sim::ThreadContext& tc) {
-  sim.mem().store_word(0x200000, 7);
+  (void)sim;
   bool aborted = false;
   try {
     co_await tc.tx_begin(3);
@@ -135,6 +138,7 @@ sim::ThreadTask fig4f(sim::Simulator& sim, vm::SuvVm& vm,
 }
 
 TEST_F(SuvOperationsTest, Fig4f_AbortRevertsTransientEntries) {
+  sim_.mem().store_word(0x200000, 7);  // seed before the run-start snapshot
   sim_.spawn(0, fig4f(sim_, *vm_, sim_.context(0)));
   run();
   EXPECT_EQ(sim_.htm().stats().aborts, 1u);

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Hot-path lint gate for the simulator's per-event code.
+
+Scans src/mem, src/sim, src/htm and src/suv (the directories every simulated
+memory access runs through) and rejects:
+
+  node-container  std::map/set/unordered_map/unordered_set/list/forward_list/
+                  multimap/multiset -- node-based containers whose per-access
+                  pointer chasing the flat containers in common/flat_hash.hpp
+                  exist to avoid.
+  std-function    std::function -- type-erased calls with possible heap
+                  capture; use templates or sim::SmallFn on hot paths.
+                  (check/ and host-side tools may use it; they are not
+                  scanned.)
+  alloc-in-loop   operator new / make_unique / make_shared / malloc / calloc
+                  inside a loop body -- per-iteration allocation on a path
+                  that may run per simulated event.
+
+Suppression: append `// lint: allow(<rule>)` to the offending line or the
+line directly above it. Placement new (`new (buf) T`) is not an allocation
+and is ignored.
+
+Exit status: 0 when clean, 1 with a report when violations are found.
+Run from the repository root (the CTest registration does).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+HOT_DIRS = ["src/mem", "src/sim", "src/htm", "src/suv"]
+EXTENSIONS = {".hpp", ".cpp"}
+
+NODE_CONTAINERS = re.compile(
+    r"\bstd::(map|set|unordered_map|unordered_set|list|forward_list|"
+    r"multimap|multiset)\s*<"
+)
+STD_FUNCTION = re.compile(r"\bstd::function\s*<")
+# `new (` is placement new; require the allocated type to follow directly.
+ALLOCATION = re.compile(
+    r"(\bnew\s+[A-Za-z_:<(]|std::make_unique\s*<|std::make_shared\s*<|"
+    r"\bmalloc\s*\(|\bcalloc\s*\()"
+)
+LOOP_HEAD = re.compile(r"\b(for|while)\s*\(")
+ALLOW = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line
+    structure so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if ch == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+            elif ch == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+            elif ch in "\"'":
+                mode = ch
+                out.append(" ")
+                i += 1
+            else:
+                out.append(ch)
+                i += 1
+        elif mode == "line":
+            if ch == "\n":
+                mode = None
+                out.append(ch)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if ch == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(ch if ch == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+            elif ch == mode:
+                mode = None
+                out.append(" ")
+                i += 1
+            else:
+                out.append(ch if ch == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_lines, idx):
+    """Suppressions on this line or the line directly above."""
+    rules = set()
+    for j in (idx, idx - 1):
+        if 0 <= j < len(raw_lines):
+            rules.update(ALLOW.findall(raw_lines[j]))
+    return rules
+
+
+def lint_file(path: Path):
+    raw = path.read_text()
+    raw_lines = raw.splitlines()
+    lines = strip_comments_and_strings(raw).splitlines()
+    violations = []
+
+    # Loop tracking: remember the brace depth at which each loop body opened;
+    # leaving that depth closes the loop. Single-statement (braceless) loop
+    # bodies are not tracked -- acceptable for a heuristic gate.
+    depth = 0
+    loop_stack = []  # brace depths of open loop bodies
+    pending_loop = False  # saw a loop head, waiting for its opening brace
+
+    def report(idx, rule, msg):
+        if rule not in allowed_rules(raw_lines, idx):
+            violations.append((path, idx + 1, rule, msg))
+
+    for idx, line in enumerate(lines):
+        if NODE_CONTAINERS.search(line):
+            report(idx, "node-container",
+                   "node-based std container on a hot path "
+                   "(use common/flat_hash.hpp)")
+        if STD_FUNCTION.search(line):
+            report(idx, "std-function",
+                   "std::function on a hot path "
+                   "(use a template parameter or sim::SmallFn)")
+        in_loop = bool(loop_stack)
+        if in_loop and ALLOCATION.search(line):
+            report(idx, "alloc-in-loop",
+                   "allocation inside a loop on a hot path")
+        if LOOP_HEAD.search(line):
+            pending_loop = True
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if pending_loop:
+                    loop_stack.append(depth)
+                    pending_loop = False
+            elif ch == "}":
+                while loop_stack and loop_stack[-1] >= depth:
+                    loop_stack.pop()
+                depth -= 1
+        if pending_loop and line.rstrip().endswith(";"):
+            pending_loop = False  # braceless single-statement body
+    return violations
+
+
+def main():
+    root = Path.cwd()
+    if not (root / "src").is_dir():
+        sys.stderr.write("lint_hotpath.py: run from the repository root\n")
+        return 2
+    violations = []
+    for d in HOT_DIRS:
+        for path in sorted((root / d).rglob("*")):
+            if path.suffix in EXTENSIONS:
+                violations.extend(lint_file(path))
+    if violations:
+        for path, lineno, rule, msg in violations:
+            print(f"{path.relative_to(root)}:{lineno}: [{rule}] {msg}")
+        print(f"lint_hotpath: {len(violations)} violation(s)")
+        return 1
+    print("lint_hotpath: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
