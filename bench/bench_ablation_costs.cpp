@@ -5,11 +5,14 @@
 //  (3) the summary signature size (false-filter pressure),
 //  (4) the Bloom signature size (false-conflict pressure, all schemes).
 //
-// Usage: bench_ablation_costs [scale] [--jobs N]
+// Usage: bench_ablation_costs [scale] [--jobs N] [--check] [--metrics]
+//   (--trace is accepted for flag uniformity but ignored: the sweep runs
+//    hundreds of simulations, far too many for one useful trace file.)
 #include <cstdio>
 #include <cstdlib>
 
-#include "runner/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "runner/cli.hpp"
 #include "runner/parallel.hpp"
 #include "runner/tables.hpp"
 
@@ -19,13 +22,17 @@ namespace {
 
 std::uint64_t g_events = 0;  // simulated events across every suite run
 std::uint64_t g_runs = 0;
+obs::MetricsSnapshot g_metrics;  // merged across every suite run
+const runner::Cli* g_cli = nullptr;
 
-std::uint64_t suite_total(sim::Scheme scheme, const sim::SimConfig& cfg,
+std::uint64_t suite_total(sim::Scheme scheme, sim::SimConfig cfg,
                           const stamp::SuiteParams& params) {
+  g_cli->apply(cfg);
   std::uint64_t total = 0;
   for (const auto& r : runner::run_suite(scheme, cfg, params)) {
     total += r.makespan;
     g_events += r.sim_events;
+    obs::merge(g_metrics, r.metrics);
     ++g_runs;
   }
   return total;
@@ -34,10 +41,16 @@ std::uint64_t suite_total(sim::Scheme scheme, const sim::SimConfig& cfg,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
-  runner::set_default_jobs(jobs);
+  runner::Cli cli = runner::Cli::parse(argc, argv);
+  if (cli.tracing()) {
+    std::fprintf(stderr, "warning: --trace is ignored by this sweep bench "
+                         "(too many runs for one trace)\n");
+    cli.trace_path.clear();
+  }
+  g_cli = &cli;
+  const unsigned jobs = cli.jobs;
   stamp::SuiteParams params;
-  params.scale = argc > 1 ? std::atof(argv[1]) : 0.25;  // sweeps are pricey
+  params.scale = cli.scale_or(0.25);  // sweeps are pricey
   runner::WallTimer timer;
 
   std::printf("Ablation: headline sensitivity to cost-model choices "
@@ -109,11 +122,13 @@ int main(int argc, char** argv) {
                       sim::ConflictPolicy::kRequesterWins}) {
     sim::SimConfig cfg;
     cfg.htm.conflict_policy = policy;
+    cli.apply(cfg);
     std::uint64_t cycles = 0, aborts = 0;
     for (const auto& r : runner::run_suite(sim::Scheme::kSuv, cfg, params)) {
       cycles += r.makespan;
       aborts += r.htm.aborts;
       g_events += r.sim_events;
+      obs::merge(g_metrics, r.metrics);
       ++g_runs;
     }
     t5.push_back({policy == sim::ConflictPolicy::kRequesterStalls
@@ -125,6 +140,7 @@ int main(int argc, char** argv) {
 
   const double wall_s = timer.seconds();
   runner::BenchReport report("ablation_costs");
+  if (cli.metrics) report.set_metrics(g_metrics, "metrics.");
   report.set("jobs", jobs);
   report.set("scale", params.scale);
   report.set("runs", g_runs);

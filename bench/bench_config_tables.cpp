@@ -2,12 +2,15 @@
 // configuration actually used by every experiment in this repository.
 #include <cstdio>
 
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 #include "suv/redirect_entry.hpp"
 
 using namespace suvtm;
 
-int main() {
+int main(int argc, char** argv) {
+  // No simulation here; parse so the shared flags are uniformly accepted.
+  (void)runner::Cli::parse(argc, argv);
   const sim::SimConfig cfg;  // defaults == paper Table III
 
   std::printf("Table III: simulated CMP configuration (defaults)\n\n");

@@ -12,16 +12,16 @@
 //  during the merge. With SUV publication is a flash flip. Measured as the
 //  Committing bucket per commit.
 //
-// Usage: bench_fig1_pathologies [--jobs N]
+// Usage: bench_fig1_pathologies [--jobs N] [--trace out.json] [--metrics]
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "runner/bench_report.hpp"
+#include "api/api.hpp"
+#include "obs/chrome_trace.hpp"
+#include "runner/cli.hpp"
 #include "runner/parallel.hpp"
 #include "runner/tables.hpp"
-#include "sim/simulator.hpp"
-#include "stamp/framework.hpp"
 
 using namespace suvtm;
 
@@ -58,60 +58,64 @@ sim::ThreadTask contender(sim::ThreadContext& tc, const Scenario& s,
 struct ScenarioResult {
   std::string line;
   std::uint64_t events = 0;
+  obs::TraceData trace;
+  obs::MetricsSnapshot metrics;
 };
 
-ScenarioResult run_scenario(sim::Scheme scheme) {
-  sim::SimConfig cfg;
-  cfg.scheme = scheme;
-  sim::Simulator sim(cfg);
+ScenarioResult run_scenario(sim::Scheme scheme, const runner::Cli& cli) {
+  api::RunHandle h = api::SimBuilder().scheme(scheme).apply(cli).build();
+  sim::Simulator& sim = h.sim();
   Scenario s;
   s.region = 0x40000;
   s.lines = 96;  // heavy overlap between the 16 contenders
-  s.bar = &sim.make_barrier(sim.num_cores());
-  for (CoreId c = 0; c < sim.num_cores(); ++c) {
-    sim.spawn(c, contender(sim.context(c), s, 24));
+  s.bar = &h.make_barrier(h.num_cores());
+  for (CoreId c = 0; c < h.num_cores(); ++c) {
+    h.spawn(c, contender(h.context(c), s, 24));
   }
-  sim.run();
+  h.run();
   const auto b = sim.total_breakdown();
-  const auto& h = sim.htm().stats();
+  const auto& ht = h.htm_stats();
   const double abort_window =
-      h.aborts ? static_cast<double>(b.get(sim::Bucket::kAborting)) /
-                     static_cast<double>(h.aborts)
-               : 0.0;
-  const double commit_window =
-      h.commits ? static_cast<double>(b.get(sim::Bucket::kCommitting)) /
-                      static_cast<double>(h.commits)
+      ht.aborts ? static_cast<double>(b.get(sim::Bucket::kAborting)) /
+                      static_cast<double>(ht.aborts)
                 : 0.0;
+  const double commit_window =
+      ht.commits ? static_cast<double>(b.get(sim::Bucket::kCommitting)) /
+                       static_cast<double>(ht.commits)
+                 : 0.0;
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%-10s makespan=%9llu aborts=%6llu  isolation window per "
                 "abort=%7.1f cy  per commit=%6.1f cy  stalled=%llu",
                 sim::scheme_name(scheme),
-                static_cast<unsigned long long>(sim.makespan()),
-                static_cast<unsigned long long>(h.aborts), abort_window,
+                static_cast<unsigned long long>(h.makespan()),
+                static_cast<unsigned long long>(ht.aborts), abort_window,
                 commit_window,
                 static_cast<unsigned long long>(b.get(sim::Bucket::kStalled)));
-  return {buf, sim.scheduler().events_processed()};
+  ScenarioResult out;
+  out.line = buf;
+  out.events = sim.scheduler().events_processed();
+  if (cli.tracing()) out.trace = h.trace();
+  if (cli.metrics) out.metrics = h.metrics();
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
   std::printf("Figure 1 micro-scenario: 16 contenders read-modify-write an "
               "overlapping 96-line\nregion. The per-abort and per-commit "
               "isolation windows show the repair and merge\npathologies "
               "directly.\n\n");
-  const sim::Scheme schemes[] = {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
-                                 sim::Scheme::kSuv, sim::Scheme::kDynTm,
-                                 sim::Scheme::kDynTmSuv};
+  const auto& schemes = sim::all_schemes();
   // Each scenario is an independent simulator: fan the five schemes across
   // the pool and print the collected lines in scheme order.
-  runner::ParallelExecutor exec(jobs);
+  runner::ParallelExecutor exec(cli.jobs);
   runner::WallTimer timer;
-  std::vector<ScenarioResult> results(std::size(schemes));
-  exec.run_indexed(std::size(schemes), [&](std::size_t i) {
-    results[i] = run_scenario(schemes[i]);
+  std::vector<ScenarioResult> results(schemes.size());
+  exec.run_indexed(schemes.size(), [&](std::size_t i) {
+    results[i] = run_scenario(schemes[i], cli);
   });
   const double wall_s = timer.seconds();
   std::uint64_t events = 0;
@@ -124,6 +128,24 @@ int main(int argc, char** argv) {
               "per-commit window (lazy publication)\ndwarfs DynTM+SUV's.\n");
 
   runner::BenchReport report("fig1_pathologies");
+  if (cli.tracing()) {
+    std::vector<obs::NamedTrace> named;
+    named.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      named.push_back({std::string("pathology/") +
+                           sim::scheme_cli_name(schemes[i]),
+                       &results[i].trace});
+    }
+    if (obs::write_chrome_trace(cli.trace_path, named)) {
+      std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                  cli.trace_path.c_str());
+    }
+  }
+  if (cli.metrics) {
+    obs::MetricsSnapshot merged;
+    for (const auto& r : results) obs::merge(merged, r.metrics);
+    report.set_metrics(merged, "metrics.");
+  }
   report.set("jobs", exec.jobs());
   report.set("runs", static_cast<std::uint64_t>(results.size()));
   report.set("wall_seconds", wall_s);

@@ -3,41 +3,47 @@
 // Also prints the paper's Section V headline speedups (all apps / the five
 // high-contention apps).
 //
-// Usage: bench_fig6_breakdown [scale] [csv-path] [--jobs N]
+// Usage: bench_fig6_breakdown [scale] [csv-path] [--jobs N] [--check]
+//            [--trace out.json] [--metrics]
 //   With a csv-path, also writes the per-app makespan table as CSV for
-//   plotting.
+//   plotting. Metrics are always recorded here: BENCH_fig6_breakdown.json
+//   carries the per-app SUV-TM metrics namespace (and, with --metrics, the
+//   matrix-wide sums).
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 
-#include "runner/bench_report.hpp"
-#include "runner/parallel.hpp"
+#include "api/api.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
-  runner::set_default_jobs(jobs);
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
   stamp::SuiteParams params;
-  if (argc > 1) params.scale = std::atof(argv[1]);
+  params.scale = cli.scale_or(params.scale);
 
-  sim::SimConfig cfg;
+  runner::BenchReport report("fig6_breakdown");
 
-  // Fan the full scheme x app matrix across host cores in one batch.
+  // Fan the full scheme x app matrix across host cores in one batch, built
+  // through the api facade; metrics are on unconditionally so the report
+  // always carries the uniform namespace.
   const sim::Scheme schemes[] = {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
                                  sim::Scheme::kSuv};
   std::vector<runner::RunPoint> points;
+  std::vector<std::string> names;
   for (sim::Scheme s : schemes) {
-    sim::SimConfig c = cfg;
-    c.scheme = s;
+    const sim::SimConfig c = api::SimBuilder().scheme(s).metrics(true).config();
     for (stamp::AppId app : stamp::all_apps()) {
       points.push_back(runner::RunPoint{app, c, params});
+      names.push_back(std::string(sim::scheme_cli_name(s)) + "/" +
+                      stamp::app_name(app));
     }
   }
   runner::WallTimer timer;
-  const auto flat = runner::run_matrix(points);
+  const auto flat = runner::run_matrix_cli(points, names, cli, report);
   const double wall_s = timer.seconds();
 
   std::map<sim::Scheme, std::vector<runner::RunResult>> results;
@@ -84,9 +90,9 @@ int main(int argc, char** argv) {
                       100 * results[sim::Scheme::kSuv][i].htm.abort_ratio(), 1)});
   }
   std::printf("%s\n", runner::render_table(mk).c_str());
-  if (argc > 2) {
-    if (runner::write_csv(argv[2], mk)) {
-      std::printf("wrote %s\n\n", argv[2]);
+  if (!cli.args.empty()) {
+    if (runner::write_csv(cli.args[0].c_str(), mk)) {
+      std::printf("wrote %s\n\n", cli.args[0].c_str());
     }
   }
 
@@ -103,8 +109,7 @@ int main(int argc, char** argv) {
   std::printf("  SUV-TM over FasTM,    high-contention : %+.1f%%   (paper: +12%%)\n",
               100.0 * (runner::geomean_speedup(fastm, suvtm_r, true) - 1.0));
 
-  runner::BenchReport report("fig6_breakdown");
-  report.set("jobs", jobs);
+  report.set("jobs", cli.jobs);
   report.set("scale", params.scale);
   report.set("runs", static_cast<std::uint64_t>(points.size()));
   report.set("wall_seconds", wall_s);
@@ -117,6 +122,11 @@ int main(int argc, char** argv) {
              runner::geomean_speedup(logtm, suvtm_r, true));
   report.set("suv_vs_fastm_all",
              runner::geomean_speedup(fastm, suvtm_r, false));
+  // The per-app SUV-TM metrics namespace: the paper's scheme, one block per
+  // application, straight from the hook-fed registry plus derived rates.
+  for (const auto& r : suvtm_r) {
+    report.set_metrics(r.metrics, "metrics." + r.app + ".");
+  }
   report.write();
   return 0;
 }

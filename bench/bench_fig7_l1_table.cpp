@@ -2,21 +2,23 @@
 //  (a) L1 table miss rate vs table size   (paper: high hit rate at 512)
 //  (b) total execution time vs table size (paper: flat beyond 512)
 //
-// Usage: bench_fig7_l1_table [scale] [--jobs N]
+// Usage: bench_fig7_l1_table [scale] [--jobs N] [--check]
+//            [--trace out.json] [--metrics]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "runner/bench_report.hpp"
-#include "runner/parallel.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
-  runner::set_default_jobs(jobs);
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  const unsigned jobs = cli.jobs;
   stamp::SuiteParams params;
-  if (argc > 1) params.scale = std::atof(argv[1]);
+  params.scale = cli.scale_or(params.scale);
+  runner::BenchReport report("fig7_l1_table");
 
   const std::uint32_t sizes[] = {64, 128, 256, 512, 1024, 2048};
   const std::uint64_t seeds[] = {42, 43, 44};
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
 
   // One flat size x seed x app matrix; seeds smooth contention noise.
   std::vector<runner::RunPoint> points;
+  std::vector<std::string> names;
   for (std::uint32_t size : sizes) {
     sim::SimConfig cfg;
     cfg.scheme = sim::Scheme::kSuv;
@@ -38,11 +41,13 @@ int main(int argc, char** argv) {
       p.seed = seed;
       for (stamp::AppId app : stamp::all_apps()) {
         points.push_back(runner::RunPoint{app, cfg, p});
+        names.push_back(std::to_string(size) + "e/s" + std::to_string(seed) +
+                        "/" + stamp::app_name(app));
       }
     }
   }
   runner::WallTimer timer;
-  const auto flat = runner::run_matrix(points);
+  const auto flat = runner::run_matrix_cli(points, names, cli, report);
   const double wall_s = timer.seconds();
 
   std::vector<double> exec(std::size(sizes), 0.0);
@@ -75,7 +80,6 @@ int main(int argc, char** argv) {
 
   std::uint64_t events = 0;
   for (const auto& r : flat) events += r.sim_events;
-  runner::BenchReport report("fig7_l1_table");
   report.set("jobs", jobs);
   report.set("scale", params.scale);
   report.set("runs", static_cast<std::uint64_t>(flat.size()));

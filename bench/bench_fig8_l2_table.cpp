@@ -3,12 +3,13 @@
 //  (b) execution time vs table latency (paper: degrades past ~10 cycles;
 //      zero latency buys < 5%)
 //
-// Usage: bench_fig8_l2_table [scale] [--jobs N]
+// Usage: bench_fig8_l2_table [scale] [--jobs N] [--check]
+//            [--trace out.json] [--metrics]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "runner/bench_report.hpp"
-#include "runner/parallel.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
@@ -19,6 +20,7 @@ constexpr std::uint64_t kSeeds[] = {42, 43, 44};
 
 // Append one suite run per seed for this config to the flat point list.
 void push_config(std::vector<runner::RunPoint>& points,
+                 std::vector<std::string>& names, const char* label,
                  const sim::SimConfig& cfg,
                  const stamp::SuiteParams& params) {
   for (std::uint64_t seed : kSeeds) {
@@ -26,6 +28,8 @@ void push_config(std::vector<runner::RunPoint>& points,
     p.seed = seed;
     for (stamp::AppId app : stamp::all_apps()) {
       points.push_back(runner::RunPoint{app, cfg, p});
+      names.push_back(std::string(label) + "/s" + std::to_string(seed) + "/" +
+                      stamp::app_name(app));
     }
   }
 }
@@ -44,10 +48,11 @@ std::uint64_t pop_total(const std::vector<runner::RunResult>& flat,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
-  runner::set_default_jobs(jobs);
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  const unsigned jobs = cli.jobs;
   stamp::SuiteParams params;
-  if (argc > 1) params.scale = std::atof(argv[1]);
+  params.scale = cli.scale_or(params.scale);
+  runner::BenchReport report("fig8_l2_table");
 
   std::printf("Figure 8: second-level redirect table sensitivity "
               "(SUV-TM, scale=%.2f)\n\n", params.scale);
@@ -57,20 +62,22 @@ int main(int argc, char** argv) {
 
   // Both sweeps in one flat batch so the pool never drains between them.
   std::vector<runner::RunPoint> points;
+  std::vector<std::string> names;
   for (std::uint32_t s : sizes) {
     sim::SimConfig cfg;
     cfg.scheme = sim::Scheme::kSuv;
     cfg.suv.l2_table_entries = s;
-    push_config(points, cfg, params);
+    push_config(points, names, (std::to_string(s) + "e").c_str(), cfg, params);
   }
   for (Cycle lat : lats) {
     sim::SimConfig cfg;
     cfg.scheme = sim::Scheme::kSuv;
     cfg.suv.l2_table_latency = lat;
-    push_config(points, cfg, params);
+    push_config(points, names, (std::to_string(lat) + "cyc").c_str(), cfg,
+                params);
   }
   runner::WallTimer timer;
-  const auto flat = runner::run_matrix(points);
+  const auto flat = runner::run_matrix_cli(points, names, cli, report);
   const double wall_s = timer.seconds();
   std::size_t idx = 0;
 
@@ -118,7 +125,6 @@ int main(int argc, char** argv) {
 
   std::uint64_t events = 0;
   for (const auto& r : flat) events += r.sim_events;
-  runner::BenchReport report("fig8_l2_table");
   report.set("jobs", jobs);
   report.set("scale", params.scale);
   report.set("runs", static_cast<std::uint64_t>(flat.size()));

@@ -4,28 +4,43 @@
 // The Committing bucket carries the paper's headline contrast: lazy
 // publication is per-line with FasTM but a flash flip with SUV.
 //
-// Usage: bench_fig9_dyntm [scale] [--jobs N]
+// Usage: bench_fig9_dyntm [scale] [--jobs N] [--check] [--trace out.json]
+//            [--metrics]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "runner/bench_report.hpp"
-#include "runner/parallel.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
-  runner::set_default_jobs(jobs);
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  const unsigned jobs = cli.jobs;
   stamp::SuiteParams params;
-  if (argc > 1) params.scale = std::atof(argv[1]);
+  params.scale = cli.scale_or(params.scale);
 
-  sim::SimConfig cfg;
+  runner::BenchReport report("fig9_dyntm");
+
+  // One flat scheme x app matrix through the shared CLI runner.
+  std::vector<runner::RunPoint> points;
+  std::vector<std::string> names;
+  for (sim::Scheme s : {sim::Scheme::kDynTm, sim::Scheme::kDynTmSuv}) {
+    sim::SimConfig cfg;
+    cfg.scheme = s;
+    for (stamp::AppId app : stamp::all_apps()) {
+      points.push_back(runner::RunPoint{app, cfg, params});
+      names.push_back(std::string(sim::scheme_cli_name(s)) + "/" +
+                      stamp::app_name(app));
+    }
+  }
   runner::WallTimer timer;
-  auto d = runner::run_suite(sim::Scheme::kDynTm, cfg, params);
-  auto ds = runner::run_suite(sim::Scheme::kDynTmSuv, cfg, params);
+  const auto flat = runner::run_matrix_cli(points, names, cli, report);
   const double wall_s = timer.seconds();
+  const std::size_t napps = stamp::all_apps().size();
+  const std::vector<runner::RunResult> d(flat.begin(), flat.begin() + napps);
+  const std::vector<runner::RunResult> ds(flat.begin() + napps, flat.end());
 
   std::printf("Figure 9: DynTM (D) vs DynTM+SUV (D+S), normalized to DynTM "
               "(scale=%.2f, 16 cores)\n\n", params.scale);
@@ -74,7 +89,6 @@ int main(int argc, char** argv) {
   std::uint64_t events = 0;
   for (const auto& r : d) events += r.sim_events;
   for (const auto& r : ds) events += r.sim_events;
-  runner::BenchReport report("fig9_dyntm");
   report.set("jobs", jobs);
   report.set("scale", params.scale);
   report.set("runs", static_cast<std::uint64_t>(d.size() + ds.size()));

@@ -12,7 +12,10 @@
 //     std::unordered_set/map they replaced, on footprint- and
 //     redo-log-shaped churn;
 //   - an end-to-end events/sec number: the bench_scaling part-1 matrix
-//     (scheme x app, 16 simulated cores, scale 0.5) run serially in-process.
+//     (scheme x app, 16 simulated cores, scale 0.5) run serially in-process;
+//   - overhead guards for the correctness checker (src/check) and the
+//     observability layer (src/obs): the same matrix with the hooks off
+//     and on, as events/sec ratios.
 //
 // Usage: bench_micro_structures [gbench args] [--baseline-events-per-sec X]
 //   X is the events_per_sec_jobs1 reported by a main-built bench_scaling on
@@ -33,7 +36,9 @@
 #include "common/rng.hpp"
 #include "htm/signature.hpp"
 #include "mem/cache.hpp"
+#include "obs/obs.hpp"
 #include "runner/bench_report.hpp"
+#include "runner/cli.hpp"
 #include "runner/experiment.hpp"
 #include "sim/config.hpp"
 #include "sim/scheduler.hpp"
@@ -478,6 +483,57 @@ void checker_overhead_report(runner::BenchReport& report) {
   report.set("checker_runtime_overhead_pct", overhead);
 }
 
+/// Runtime cost of the observability layer (src/obs): the same small
+/// scheme x app matrix with cfg.obs off and with trace + metrics on. The
+/// "off" number is the default hot path in an obs-capable build (hooks
+/// compiled in, recorder pointer null -- the configuration the no-op
+/// budget is measured against); any regression there is a hook leaking
+/// work onto the untraced path. The "on" number is the full record cost.
+void obs_overhead_report(runner::BenchReport& report) {
+  report.set("obs_hooks_compiled",
+             static_cast<std::uint64_t>(obs::kHooksCompiled ? 1 : 0));
+  stamp::SuiteParams params;
+  params.scale = 0.25;
+  const auto matrix = [&](bool enabled) {
+    std::vector<runner::RunPoint> points;
+    for (sim::Scheme s : {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
+                          sim::Scheme::kSuv}) {
+      sim::SimConfig cfg;
+      cfg.scheme = s;
+      cfg.mem.num_cores = 16;
+      cfg.obs.trace = enabled;
+      cfg.obs.metrics = enabled;
+      for (stamp::AppId app : stamp::all_apps()) {
+        points.push_back(runner::RunPoint{app, cfg, params});
+      }
+    }
+    return points;
+  };
+  runner::ParallelExecutor serial(1);
+  const auto time_matrix = [&](bool enabled) {
+    const auto points = matrix(enabled);
+    runner::run_matrix(points, serial);  // warm
+    runner::WallTimer t;
+    const auto results = runner::run_matrix(points, serial);
+    const double s = t.seconds();
+    std::uint64_t events = 0;
+    for (const auto& r : results) events += r.sim_events;
+    return s > 0 ? static_cast<double>(events) / s : 0.0;
+  };
+  const double eps_off = time_matrix(false);
+  const double eps_on = obs::kHooksCompiled ? time_matrix(true) : eps_off;
+  const double overhead =
+      eps_on > 0 ? (eps_off / eps_on - 1.0) * 100.0 : 0.0;
+  std::printf("\nobservability overhead (scheme x app matrix, 16 cores, "
+              "scale 0.25):\n"
+              "  obs off      : %10.0f events/s\n"
+              "  trace+metrics: %10.0f events/s   (+%.1f%% run time)\n",
+              eps_off, eps_on, overhead);
+  report.set("events_per_sec_obs_off", eps_off);
+  report.set("events_per_sec_obs_on", eps_on);
+  report.set("obs_runtime_overhead_pct", overhead);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -492,6 +548,10 @@ int main(int argc, char** argv) {
       break;
     }
   }
+  // Strip the shared harness flags too (google-benchmark rejects unknown
+  // flags); the overhead sections configure obs/check explicitly, so only
+  // --jobs has an effect here.
+  (void)runner::Cli::parse(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -501,6 +561,7 @@ int main(int argc, char** argv) {
   container_report(report);
   end_to_end_report(report, baseline_eps);
   checker_overhead_report(report);
+  obs_overhead_report(report);
   report.write();
   return 0;
 }

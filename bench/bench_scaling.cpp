@@ -10,6 +10,7 @@
 // BENCH_scaling.json.
 //
 // Usage: bench_scaling [scale] [--jobs N] [--smoke] [--check]
+//            [--trace out.json] [--metrics]
 //   --smoke: tiny scale, identity check plus a seed-shape audit of every
 //            RunResult field block; exits non-zero on any violation (used
 //            as the ctest parallel smoke target).
@@ -17,29 +18,31 @@
 //            (history oracle + structural audits; see src/check). Requires
 //            a build with SUVTM_CHECK=ON to have any effect; any violation
 //            aborts the run. Timing numbers include the checking cost.
+//   --trace/--metrics: record observability data during the part-1 sweep
+//            (the determinism check then also covers trace and metrics
+//            byte-stability across jobs counts).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "check/check.hpp"
-#include "runner/bench_report.hpp"
-#include "runner/parallel.hpp"
+#include "api/api.hpp"
+#include "obs/chrome_trace.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 namespace {
 
-std::vector<runner::RunPoint> sweep_points(const stamp::SuiteParams& params,
-                                           std::uint32_t cores, bool check) {
+std::vector<runner::RunPoint> sweep_points(const runner::Cli& cli,
+                                           const stamp::SuiteParams& params,
+                                           std::uint32_t cores) {
   std::vector<runner::RunPoint> points;
   for (sim::Scheme s : {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
                         sim::Scheme::kSuv}) {
-    sim::SimConfig cfg;
-    cfg.scheme = s;
-    cfg.mem.num_cores = cores;
-    cfg.check.enabled = check;
+    const sim::SimConfig cfg =
+        api::SimBuilder().scheme(s).cores(cores).apply(cli).config();
     for (stamp::AppId app : stamp::all_apps()) {
       points.push_back(runner::RunPoint{app, cfg, params});
     }
@@ -95,28 +98,12 @@ int check_seed_shape(const std::vector<runner::RunPoint>& points,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
-  bool smoke = false;
-  bool check = false;
-  for (int i = 1; i < argc;) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--check") == 0) {
-      check = true;
-    } else {
-      ++i;
-      continue;
-    }
-    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-    --argc;
-  }
-  if (check && !check::kHooksCompiled) {
-    std::fprintf(stderr,
-                 "warning: --check requested but this build compiled the "
-                 "checker hooks out (SUVTM_CHECK=OFF); running unchecked\n");
-  }
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  const unsigned jobs = cli.jobs;
+  const bool smoke = cli.smoke;
+  const bool check = cli.check;
   stamp::SuiteParams params;
-  params.scale = argc > 1 ? std::atof(argv[1]) : (smoke ? 0.1 : 0.5);
+  params.scale = cli.scale_or(smoke ? 0.1 : 0.5);
 
   runner::BenchReport report("scaling");
   report.set("jobs", jobs);
@@ -125,23 +112,44 @@ int main(int argc, char** argv) {
   report.set("check", static_cast<std::uint64_t>(check ? 1 : 0));
 
   // ---- Part 1: harness throughput, --jobs 1 vs --jobs N ------------------
-  const auto points = sweep_points(params, smoke ? 8 : 16, check);
+  const auto points = sweep_points(cli, params, smoke ? 8 : 16);
   std::printf("Part 1: scheme x app sweep (%zu runs, scale=%.2f), "
               "jobs=1 vs jobs=%u\n\n", points.size(), params.scale, jobs);
 
   runner::ParallelExecutor serial(1);
   runner::WallTimer t1;
-  const auto serial_results = runner::run_matrix(points, serial);
+  const auto serial_out = runner::run_matrix_traced(points, serial);
+  const auto& serial_results = serial_out.results;
   const double serial_s = t1.seconds();
 
   runner::ParallelExecutor pool(jobs);
   runner::WallTimer tn;
-  const auto pool_results = runner::run_matrix(points, pool);
+  const auto pool_out = runner::run_matrix_traced(points, pool);
+  const auto& pool_results = pool_out.results;
   const double pool_s = tn.seconds();
 
+  // Bit-identity must hold for the stats AND the observability outputs:
+  // RunResult includes the metrics snapshot, and the traces compare
+  // event-for-event.
   bool identical = serial_results.size() == pool_results.size();
   for (std::size_t i = 0; identical && i < serial_results.size(); ++i) {
-    identical = serial_results[i] == pool_results[i];
+    identical = serial_results[i] == pool_results[i] &&
+                serial_out.traces[i] == pool_out.traces[i];
+  }
+
+  if (cli.tracing()) {
+    std::vector<obs::NamedTrace> named;
+    named.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      named.push_back(
+          {std::string(sim::scheme_cli_name(points[i].cfg.scheme)) + "/" +
+               pool_results[i].app,
+           &pool_out.traces[i]});
+    }
+    if (obs::write_chrome_trace(cli.trace_path, named)) {
+      std::printf("trace written to %s (open in ui.perfetto.dev)\n\n",
+                  cli.trace_path.c_str());
+    }
   }
 
   const std::uint64_t events = total_events(pool_results);

@@ -3,21 +3,22 @@
 // prior studies (up to 79%+ for STAMP-class workloads); this bench measures
 // the equivalent numbers for our reproduction so they can be compared.
 //
-// Usage: bench_table1_abort_ratios [scale] [--jobs N]
+// Usage: bench_table1_abort_ratios [scale] [--jobs N] [--check]
+//            [--trace out.json] [--metrics]
 #include <cstdio>
 #include <cstdlib>
 
-#include "runner/bench_report.hpp"
-#include "runner/parallel.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
-  runner::set_default_jobs(jobs);
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  const unsigned jobs = cli.jobs;
   stamp::SuiteParams params;
-  if (argc > 1) params.scale = std::atof(argv[1]);
+  params.scale = cli.scale_or(params.scale);
+  runner::BenchReport report("table1_abort_ratios");
 
   const sim::Scheme schemes[] = {
       sim::Scheme::kLogTmSe, sim::Scheme::kFasTm, sim::Scheme::kSuv,
@@ -32,15 +33,18 @@ int main(int argc, char** argv) {
 
   // One flat scheme x app matrix so the pool never drains between schemes.
   std::vector<runner::RunPoint> points;
+  std::vector<std::string> names;
   for (sim::Scheme s : schemes) {
     sim::SimConfig cfg;
     cfg.scheme = s;
     for (stamp::AppId app : stamp::all_apps()) {
       points.push_back(runner::RunPoint{app, cfg, params});
+      names.push_back(std::string(sim::scheme_cli_name(s)) + "/" +
+                      stamp::app_name(app));
     }
   }
   runner::WallTimer timer;
-  const auto flat = runner::run_matrix(points);
+  const auto flat = runner::run_matrix_cli(points, names, cli, report);
   const double wall_s = timer.seconds();
 
   std::vector<std::vector<runner::RunResult>> all;
@@ -68,7 +72,6 @@ int main(int argc, char** argv) {
 
   std::uint64_t events = 0;
   for (const auto& r : flat) events += r.sim_events;
-  runner::BenchReport report("table1_abort_ratios");
   report.set("jobs", jobs);
   report.set("scale", params.scale);
   report.set("runs", static_cast<std::uint64_t>(flat.size()));

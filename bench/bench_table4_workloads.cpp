@@ -2,25 +2,33 @@
 // length (cycles of committed transactional work per commit, our analogue
 // of the paper's instruction counts) and contention class per application.
 //
-// Usage: bench_table4_workloads [scale] [--jobs N]
+// Usage: bench_table4_workloads [scale] [--jobs N] [--check]
+//            [--trace out.json] [--metrics]
 #include <cstdio>
 #include <cstdlib>
 
-#include "runner/bench_report.hpp"
-#include "runner/parallel.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
-  runner::set_default_jobs(jobs);
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  const unsigned jobs = cli.jobs;
   stamp::SuiteParams params;
-  if (argc > 1) params.scale = std::atof(argv[1]);
+  params.scale = cli.scale_or(params.scale);
+  runner::BenchReport report("table4_workloads");
 
   sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kSuv;
+  std::vector<runner::RunPoint> points;
+  std::vector<std::string> names;
+  for (stamp::AppId app : stamp::all_apps()) {
+    points.push_back(runner::RunPoint{app, cfg, params});
+    names.push_back(std::string("suv/") + stamp::app_name(app));
+  }
   runner::WallTimer timer;
-  auto results = runner::run_suite(sim::Scheme::kSuv, cfg, params);
+  const auto results = runner::run_matrix_cli(points, names, cli, report);
   const double wall_s = timer.seconds();
 
   std::printf("Table IV analogue: measured workload characteristics "
@@ -54,7 +62,6 @@ int main(int argc, char** argv) {
 
   std::uint64_t events = 0;
   for (const auto& r : results) events += r.sim_events;
-  runner::BenchReport report("table4_workloads");
   report.set("jobs", jobs);
   report.set("scale", params.scale);
   report.set("runs", static_cast<std::uint64_t>(results.size()));

@@ -3,21 +3,22 @@
 // state leaving the L1) across schemes against SUV's redirect-table
 // overflows, which the paper reports to be rare.
 //
-// Usage: bench_table5_overflows [scale] [--jobs N]
+// Usage: bench_table5_overflows [scale] [--jobs N] [--check]
+//            [--trace out.json] [--metrics]
 #include <cstdio>
 #include <cstdlib>
 
-#include "runner/bench_report.hpp"
-#include "runner/parallel.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
 int main(int argc, char** argv) {
-  const unsigned jobs = runner::ParallelExecutor::parse_jobs(argc, argv);
-  runner::set_default_jobs(jobs);
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  const unsigned jobs = cli.jobs;
   stamp::SuiteParams params;
-  if (argc > 1) params.scale = std::atof(argv[1]);
+  params.scale = cli.scale_or(params.scale);
+  runner::BenchReport report("table5_overflows");
 
   const stamp::AppId apps[] = {stamp::AppId::kBayes, stamp::AppId::kLabyrinth,
                                stamp::AppId::kYada};
@@ -25,15 +26,18 @@ int main(int argc, char** argv) {
                                  sim::Scheme::kSuv};
 
   std::vector<runner::RunPoint> points;
+  std::vector<std::string> names;
   for (stamp::AppId app : apps) {
     for (sim::Scheme s : schemes) {
       sim::SimConfig cfg;
       cfg.scheme = s;
       points.push_back(runner::RunPoint{app, cfg, params});
+      names.push_back(std::string(sim::scheme_cli_name(s)) + "/" +
+                      stamp::app_name(app));
     }
   }
   runner::WallTimer timer;
-  const auto results = runner::run_matrix(points);
+  const auto results = runner::run_matrix_cli(points, names, cli, report);
   const double wall_s = timer.seconds();
 
   std::printf("Table V: overflow statistics for the coarse-grained "
@@ -67,7 +71,6 @@ int main(int argc, char** argv) {
 
   std::uint64_t events = 0;
   for (const auto& r : results) events += r.sim_events;
-  runner::BenchReport report("table5_overflows");
   report.set("jobs", jobs);
   report.set("scale", params.scale);
   report.set("runs", static_cast<std::uint64_t>(results.size()));

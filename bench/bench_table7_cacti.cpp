@@ -5,11 +5,14 @@
 #include <cstdio>
 
 #include "cacti/cacti_model.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
 
-int main() {
+int main(int argc, char** argv) {
+  // No simulation here; parse so the shared flags are uniformly accepted.
+  (void)runner::Cli::parse(argc, argv);
   std::printf("Table VI: contemporary processors the paper compares "
               "against\n\n");
   std::vector<std::vector<std::string>> t6;

@@ -3,11 +3,15 @@
 // how each version-management scheme's execution time and abort ratio react.
 // This is the paper's isolation-window story in its purest form.
 //
-//   $ ./build/examples/counter_contention [iters-per-thread]
+//   $ ./build/examples/counter_contention [iters-per-thread] [--check]
+//       [--trace out.json]   (exports every cell's timeline in one file)
 #include <cstdio>
-#include <cstdlib>
+#include <string>
+#include <vector>
 
-#include "sim/simulator.hpp"
+#include "api/api.hpp"
+#include "obs/chrome_trace.hpp"
+#include "runner/cli.hpp"
 #include "stamp/framework.hpp"
 
 using namespace suvtm;
@@ -36,49 +40,53 @@ struct Cell {
   double abort_ratio;
 };
 
-Cell run(sim::Scheme scheme, int counters, int iters) {
-  sim::SimConfig cfg;
-  cfg.scheme = scheme;
-  sim::Simulator sim(cfg);
+Cell run(const runner::Cli& cli, sim::Scheme scheme, int counters, int iters,
+         std::vector<std::pair<std::string, obs::TraceData>>* traces) {
+  api::RunHandle h = api::SimBuilder().scheme(scheme).apply(cli).build();
   const Addr base = 0x10000;
-  auto& bar = sim.make_barrier(sim.num_cores());
-  for (CoreId c = 0; c < sim.num_cores(); ++c) {
-    sim.spawn(c, worker(sim.context(c), base, counters, bar, iters));
+  auto& bar = h.make_barrier(h.num_cores());
+  for (CoreId c = 0; c < h.num_cores(); ++c) {
+    h.spawn(c, worker(h.context(c), base, counters, bar, iters));
   }
-  sim.run();
+  h.run();
   // Sanity: the sum of all counters must equal the total increments.
   std::uint64_t sum = 0;
   for (int i = 0; i < counters; ++i) {
-    sum += sim.read_word_resolved(base + i * kLineBytes);
+    sum += h.word(base + i * kLineBytes);
   }
   const std::uint64_t expect =
-      static_cast<std::uint64_t>(iters) * sim.num_cores();
+      static_cast<std::uint64_t>(iters) * h.num_cores();
   if (sum != expect) {
     std::fprintf(stderr, "ATOMICITY VIOLATION: %llu != %llu\n",
                  static_cast<unsigned long long>(sum),
                  static_cast<unsigned long long>(expect));
     std::exit(1);
   }
-  return {sim.makespan(), sim.htm().stats().abort_ratio()};
+  if (traces) {
+    traces->emplace_back(std::to_string(counters) + "ctr/" +
+                             sim::scheme_name(scheme),
+                         h.trace());
+  }
+  return {h.makespan(), h.htm_stats().abort_ratio()};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int iters = argc > 1 ? std::atoi(argv[1]) : 100;
-  const sim::Scheme schemes[] = {sim::Scheme::kLogTmSe, sim::Scheme::kFasTm,
-                                 sim::Scheme::kSuv, sim::Scheme::kDynTm,
-                                 sim::Scheme::kDynTmSuv};
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  const int iters = static_cast<int>(cli.scale_or(100));
 
+  std::vector<std::pair<std::string, obs::TraceData>> traces;
   std::printf("16 threads x %d transactional increments, spread over N "
               "counters (one per line).\nCells: makespan cycles "
               "(abort%%).\n\n%-10s", iters, "counters");
-  for (auto s : schemes) std::printf("  %20s", sim::scheme_name(s));
+  for (auto s : sim::all_schemes()) std::printf("  %20s", sim::scheme_name(s));
   std::printf("\n");
   for (int n : {1, 2, 4, 8, 16, 32, 64}) {
     std::printf("%-10d", n);
-    for (auto s : schemes) {
-      const Cell c = run(s, n, iters);
+    for (auto s : sim::all_schemes()) {
+      const Cell c =
+          run(cli, s, n, iters, cli.tracing() ? &traces : nullptr);
       char buf[32];
       std::snprintf(buf, sizeof buf, "%llu (%.0f%%)",
                     static_cast<unsigned long long>(c.makespan),
@@ -86,6 +94,15 @@ int main(int argc, char** argv) {
       std::printf("  %20s", buf);
     }
     std::printf("\n");
+  }
+  if (cli.tracing()) {
+    std::vector<obs::NamedTrace> named;
+    named.reserve(traces.size());
+    for (const auto& [name, data] : traces) named.push_back({name, &data});
+    if (obs::write_chrome_trace(cli.trace_path, named)) {
+      std::printf("\ntrace written to %s (open in ui.perfetto.dev)\n",
+                  cli.trace_path.c_str());
+    }
   }
   std::printf("\nreading guide: with few counters every scheme serializes, "
               "but LogTM-SE's\nsoftware abort walks hold isolation longest; "

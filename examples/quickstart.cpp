@@ -1,13 +1,16 @@
 // Quickstart: write a tiny transactional workload against the public API,
 // run it on the simulated 16-core CMP under SUV version management, and
-// print what happened.
+// print what happened. With --trace the run exports a Chrome/Perfetto JSON
+// timeline; with --metrics it prints the uniform metrics namespace.
 //
-//   $ ./build/examples/quickstart [logtm|fastm|suv|dyntm|dyntm+suv]
+//   $ ./build/examples/quickstart [scheme] [--trace out.json] [--metrics]
+//     scheme: logtm | fastm | suv | dyntm | dyntm-suv   (default: suv)
 #include <cstdio>
-#include <cstring>
+#include <stdexcept>
 #include <string>
 
-#include "sim/simulator.hpp"
+#include "api/api.hpp"
+#include "runner/cli.hpp"
 #include "stamp/framework.hpp"
 
 using namespace suvtm;
@@ -39,54 +42,73 @@ sim::ThreadTask worker(sim::ThreadContext& tc, const Shared& s,
   co_await tc.barrier(bar);
 }
 
-sim::Scheme parse_scheme(const char* s) {
-  if (!std::strcmp(s, "logtm")) return sim::Scheme::kLogTmSe;
-  if (!std::strcmp(s, "fastm")) return sim::Scheme::kFasTm;
-  if (!std::strcmp(s, "dyntm")) return sim::Scheme::kDynTm;
-  if (!std::strcmp(s, "dyntm+suv")) return sim::Scheme::kDynTmSuv;
-  return sim::Scheme::kSuv;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  sim::SimConfig cfg;  // defaults reproduce the paper's Table III
-  cfg.scheme = argc > 1 ? parse_scheme(argv[1]) : sim::Scheme::kSuv;
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
 
-  sim::Simulator sim(cfg);
+  api::SimBuilder builder;  // defaults reproduce the paper's Table III
+  builder.apply(cli);
+  try {
+    builder.scheme(cli.arg_or(0, "suv"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 1;
+  }
+  const char* scheme = sim::scheme_name(builder.config().scheme);
+
+  api::RunHandle h = builder.build();
   Shared s;
   s.counters = 0x10000;
   s.hot = 0x10000 + 4 * kLineBytes;
 
   constexpr int kIters = 200;
-  auto& bar = sim.make_barrier(sim.num_cores());
-  for (CoreId c = 0; c < sim.num_cores(); ++c) {
-    sim.spawn(c, worker(sim.context(c), s, bar, kIters));
+  auto& bar = h.make_barrier(h.num_cores());
+  for (CoreId c = 0; c < h.num_cores(); ++c) {
+    h.spawn(c, worker(h.context(c), s, bar, kIters));
   }
-  sim.run();
+  h.run();
 
   const std::uint64_t expect =
-      static_cast<std::uint64_t>(kIters) * sim.num_cores();
+      static_cast<std::uint64_t>(kIters) * h.num_cores();
   std::uint64_t got = 0;
   for (int i = 0; i < 4; ++i) {
-    got += sim.mem().load_word(s.counters + i * kLineBytes);
+    got += h.word(s.counters + i * kLineBytes);
   }
-  const std::uint64_t hot = sim.mem().load_word(s.hot);
+  const std::uint64_t hot = h.word(s.hot);
 
-  const auto& h = sim.htm().stats();
-  std::printf("scheme          : %s\n", sim::scheme_name(cfg.scheme));
+  const auto& hs = h.htm_stats();
+  std::printf("scheme          : %s\n", scheme);
   std::printf("makespan        : %llu cycles\n",
-              static_cast<unsigned long long>(sim.makespan()));
+              static_cast<unsigned long long>(h.makespan()));
   std::printf("commits/aborts  : %llu / %llu  (abort ratio %.1f%%)\n",
-              static_cast<unsigned long long>(h.commits),
-              static_cast<unsigned long long>(h.aborts),
-              100.0 * h.abort_ratio());
+              static_cast<unsigned long long>(hs.commits),
+              static_cast<unsigned long long>(hs.aborts),
+              100.0 * hs.abort_ratio());
   std::printf("striped counters: %llu (expected %llu)\n",
               static_cast<unsigned long long>(got),
               static_cast<unsigned long long>(expect));
   std::printf("hot counter     : %llu (expected %llu)\n",
               static_cast<unsigned long long>(hot),
               static_cast<unsigned long long>(expect));
+
+  if (cli.metrics) {
+    const runner::RunResult r = h.result("quickstart");
+    std::printf("\nmetrics:\n");
+    for (const auto& [name, v] : r.metrics.scalars) {
+      std::printf("  %-40s %g\n", name.c_str(), v);
+    }
+  }
+  if (cli.tracing()) {
+    if (h.write_trace(cli.trace_path, std::string("quickstart/") + scheme)) {
+      std::printf("\ntrace written to %s (open in ui.perfetto.dev)\n",
+                  cli.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "quickstart: could not write %s\n",
+                   cli.trace_path.c_str());
+    }
+  }
+
   if (got != expect || hot != expect) {
     std::printf("FAIL: atomicity violated\n");
     return 1;

@@ -3,13 +3,16 @@
 // one-stop CLI for poking at the reproduction.
 //
 //   $ ./build/examples/stamp_explorer <app> <scheme> [scale] [seed]
-//   $ ./build/examples/stamp_explorer yada suv 1.0 42
+//       [--check] [--metrics] [--trace out.json]
+//   $ ./build/examples/stamp_explorer yada suv 1.0 42 --metrics
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "runner/experiment.hpp"
+#include "api/api.hpp"
+#include "obs/chrome_trace.hpp"
+#include "runner/cli.hpp"
 #include "runner/tables.hpp"
 
 using namespace suvtm;
@@ -17,15 +20,18 @@ using namespace suvtm;
 namespace {
 
 void usage() {
-  std::printf("usage: stamp_explorer <app> <scheme> [scale] [seed]\n");
+  std::printf("usage: stamp_explorer <app> <scheme> [scale] [seed]\n"
+              "           [--check] [--metrics] [--trace out.json]\n");
   std::printf("  apps   : ");
   for (auto a : stamp::all_apps()) std::printf("%s ", stamp::app_name(a));
-  std::printf("\n  schemes: logtm fastm suv dyntm dyntm+suv\n");
+  std::printf("\n  schemes:");
+  for (const auto& row : sim::scheme_table()) std::printf(" %s", row.cli_name);
+  std::printf("\n");
 }
 
-bool parse_app(const char* s, stamp::AppId* out) {
+bool parse_app(const std::string& s, stamp::AppId* out) {
   for (auto a : stamp::all_apps()) {
-    if (!std::strcmp(s, stamp::app_name(a))) {
+    if (s == stamp::app_name(a)) {
       *out = a;
       return true;
     }
@@ -33,31 +39,28 @@ bool parse_app(const char* s, stamp::AppId* out) {
   return false;
 }
 
-bool parse_scheme(const char* s, sim::Scheme* out) {
-  if (!std::strcmp(s, "logtm")) *out = sim::Scheme::kLogTmSe;
-  else if (!std::strcmp(s, "fastm")) *out = sim::Scheme::kFasTm;
-  else if (!std::strcmp(s, "suv")) *out = sim::Scheme::kSuv;
-  else if (!std::strcmp(s, "dyntm")) *out = sim::Scheme::kDynTm;
-  else if (!std::strcmp(s, "dyntm+suv")) *out = sim::Scheme::kDynTmSuv;
-  else return false;
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  stamp::AppId app = stamp::AppId::kGenome;
-  sim::SimConfig cfg;
-  stamp::SuiteParams params;
-  if (argc < 3 || !parse_app(argv[1], &app) ||
-      !parse_scheme(argv[2], &cfg.scheme)) {
-    usage();
-    return argc < 3 ? 0 : 1;
-  }
-  if (argc > 3) params.scale = std::atof(argv[3]);
-  if (argc > 4) params.seed = std::strtoull(argv[4], nullptr, 10);
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
 
-  const auto r = runner::run_app(app, cfg, params);
+  stamp::AppId app = stamp::AppId::kGenome;
+  sim::Scheme scheme = sim::Scheme::kSuv;
+  stamp::SuiteParams params;
+  if (cli.args.size() < 2 || !parse_app(cli.args[0], &app) ||
+      !sim::scheme_from_string(cli.args[1], &scheme)) {
+    usage();
+    return cli.args.empty() ? 0 : 1;
+  }
+  params.scale = cli.scale_or(params.scale);
+  if (cli.args.size() > 2) {
+    params.seed = std::strtoull(cli.args[2].c_str(), nullptr, 10);
+  }
+
+  api::SimBuilder builder;
+  builder.scheme(scheme).apply(cli);
+  obs::TraceData trace;
+  const auto r = builder.run(app, params, &trace);
 
   std::printf("app=%s scheme=%s scale=%.2f seed=%llu\n\n", r.app.c_str(),
               sim::scheme_name(r.scheme), params.scale,
@@ -132,6 +135,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.table.misspeculations),
                 static_cast<unsigned long long>(r.table.l1_overflow_entries),
                 static_cast<unsigned long long>(r.suv.table_overflow_txns));
+  }
+
+  if (!r.metrics.empty()) {
+    std::printf("\nmetrics:\n");
+    for (const auto& [name, v] : r.metrics.scalars) {
+      std::printf("  %-44s %g\n", name.c_str(), v);
+    }
+  }
+  if (cli.tracing()) {
+    const std::string label =
+        r.app + "/" + sim::scheme_name(r.scheme);
+    if (obs::write_chrome_trace(cli.trace_path, {{label, &trace}})) {
+      std::printf("\ntrace written to %s (open in ui.perfetto.dev)\n",
+                  cli.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "stamp_explorer: could not write %s\n",
+                   cli.trace_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

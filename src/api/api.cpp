@@ -1,0 +1,53 @@
+#include "api/api.hpp"
+
+#include <stdexcept>
+
+#include "obs/chrome_trace.hpp"
+
+namespace suvtm::api {
+
+const htm::HtmStats& RunHandle::htm_stats() const {
+  return sim_->htm().stats();
+}
+
+runner::RunResult RunHandle::result(const std::string& name) {
+  return runner::harvest_result(*sim_, name);
+}
+
+obs::MetricsSnapshot RunHandle::metrics() const {
+  if (const obs::Recorder* rec = sim_->recorder()) {
+    return obs::snapshot(rec->metrics());
+  }
+  return {};
+}
+
+const obs::TraceData& RunHandle::trace() const {
+  static const obs::TraceData kEmpty;
+  const obs::Recorder* rec = sim_->recorder();
+  return rec != nullptr && rec->tracing() ? rec->trace() : kEmpty;
+}
+
+bool RunHandle::write_trace(const std::string& path,
+                            const std::string& name) const {
+  const obs::TraceData& t = trace();
+  if (t.events.empty() && t.dropped == 0) return false;
+  return obs::write_chrome_trace(path, {{name, &t}});
+}
+
+SimBuilder& SimBuilder::scheme(std::string_view name) {
+  sim::Scheme s;
+  if (!sim::scheme_from_string(name, &s)) {
+    std::string msg = "unknown scheme \"";
+    msg.append(name);
+    msg += "\"; valid names:";
+    for (const auto& row : sim::scheme_table()) {
+      msg += ' ';
+      msg += row.cli_name;
+    }
+    throw std::invalid_argument(msg);
+  }
+  cfg_.scheme = s;
+  return *this;
+}
+
+}  // namespace suvtm::api

@@ -1,0 +1,139 @@
+// suvtm::api -- the front door for programs that drive the simulator
+// directly (examples, custom experiments). SimBuilder configures a run
+// fluently; RunHandle wraps a live Simulator with the common after-run
+// queries (resolved word reads, stats harvest, metrics, trace export) so
+// callers never wire Recorder/Checker/stats plumbing by hand.
+//
+//   auto h = api::SimBuilder().scheme("suv").trace(true).build();
+//   auto& bar = h.make_barrier(h.num_cores());
+//   for (CoreId c = 0; c < h.num_cores(); ++c) h.spawn(c, worker(...));
+//   h.run();
+//   h.write_trace("run.json", "counter/SUV-TM");
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "runner/cli.hpp"
+#include "runner/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "stamp/framework.hpp"
+
+namespace suvtm::api {
+
+/// A built simulation plus the harvest queries every driver wants.
+/// Move-only; owns the Simulator.
+class RunHandle {
+ public:
+  explicit RunHandle(const sim::SimConfig& cfg)
+      : sim_(std::make_unique<sim::Simulator>(cfg)) {}
+
+  RunHandle(RunHandle&&) = default;
+  RunHandle& operator=(RunHandle&&) = default;
+
+  // ---- driving the simulation --------------------------------------------
+  sim::Simulator& sim() { return *sim_; }
+  sim::ThreadContext& context(CoreId c) { return sim_->context(c); }
+  std::uint32_t num_cores() const { return sim_->num_cores(); }
+  sim::Barrier& make_barrier(std::uint32_t parties) {
+    return sim_->make_barrier(parties);
+  }
+  void spawn(CoreId c, sim::ThreadTask task) {
+    sim_->spawn(c, std::move(task));
+  }
+  /// Run to completion (throws on escaped exceptions / cycle-limit).
+  void run() { sim_->run(); }
+
+  // ---- simulated memory, host side ---------------------------------------
+  /// Read a word following any live version-management redirection. This is
+  /// the read to use for post-run verification.
+  std::uint64_t word(Addr a) { return sim_->read_word_resolved(a); }
+  /// Raw backing-store read (no redirection) -- for seeding comparisons.
+  std::uint64_t raw_word(Addr a) { return sim_->mem().load_word(a); }
+  /// Host-side initialisation store into the backing memory.
+  void poke_word(Addr a, std::uint64_t v) { sim_->mem().store_word(a, v); }
+
+  // ---- after-run queries --------------------------------------------------
+  Cycle makespan() const { return sim_->makespan(); }
+  const htm::HtmStats& htm_stats() const;
+  /// Full stats harvest -- the same RunResult the experiment harness
+  /// produces (metrics included when the build enabled them).
+  runner::RunResult result(const std::string& name = "custom");
+  /// The hook-fed metrics snapshot; empty unless built with metrics(true).
+  obs::MetricsSnapshot metrics() const;
+  /// The recorded trace; empty unless built with trace(true).
+  const obs::TraceData& trace() const;
+  /// Export the recorded trace as Chrome/Perfetto JSON. Returns false when
+  /// nothing was traced or the file could not be written.
+  bool write_trace(const std::string& path,
+                   const std::string& name = "run") const;
+
+ private:
+  std::unique_ptr<sim::Simulator> sim_;
+};
+
+/// Fluent configuration. Each setter returns *this; build() can be called
+/// any number of times, each returning an independent simulation.
+class SimBuilder {
+ public:
+  SimBuilder& scheme(sim::Scheme s) {
+    cfg_.scheme = s;
+    return *this;
+  }
+  /// Accepts either spelling from the scheme table ("SUV-TM" or "suv").
+  /// Throws std::invalid_argument listing the valid names otherwise.
+  SimBuilder& scheme(std::string_view name);
+  SimBuilder& cores(std::uint32_t n) {
+    cfg_.mem.num_cores = n;
+    return *this;
+  }
+  SimBuilder& seed(std::uint64_t s) {
+    cfg_.seed = s;
+    return *this;
+  }
+  SimBuilder& check(bool on = true) {
+    cfg_.check.enabled = on;
+    return *this;
+  }
+  SimBuilder& trace(bool on = true) {
+    cfg_.obs.trace = on;
+    return *this;
+  }
+  SimBuilder& metrics(bool on = true) {
+    cfg_.obs.metrics = on;
+    return *this;
+  }
+  SimBuilder& trace_mem(bool on = true) {
+    cfg_.obs.trace_mem = on;
+    return *this;
+  }
+  /// Fold parsed command-line switches in (never clears env-var defaults:
+  /// only --check/--metrics/--trace that were actually given take effect).
+  SimBuilder& apply(const runner::Cli& cli) {
+    cli.apply(cfg_);
+    return *this;
+  }
+  /// Escape hatch for knobs without a dedicated setter.
+  SimBuilder& configure(const std::function<void(sim::SimConfig&)>& fn) {
+    fn(cfg_);
+    return *this;
+  }
+
+  const sim::SimConfig& config() const { return cfg_; }
+
+  RunHandle build() const { return RunHandle(cfg_); }
+
+  /// One-shot: run a STAMP app under this configuration and harvest stats
+  /// (and, when tracing, the event trace).
+  runner::RunResult run(stamp::AppId app, const stamp::SuiteParams& params = {},
+                        obs::TraceData* trace_out = nullptr) const {
+    return runner::run_app(app, cfg_, params, trace_out);
+  }
+
+ private:
+  sim::SimConfig cfg_;
+};
+
+}  // namespace suvtm::api

@@ -1,0 +1,37 @@
+// Why a transaction was doomed. Every doom site tags its victim with one of
+// these so the abort-cause histogram (obs) and the trace's conflict edges can
+// attribute aborts per scheme the way the paper's Table I does.
+#pragma once
+
+#include <cstdint>
+
+namespace suvtm::htm {
+
+enum class AbortCause : std::uint8_t {
+  kNone = 0,           ///< not doomed (a committed attempt)
+  kDeadlockCycle,      ///< stall-policy cycle detection chose this txn
+  kRequesterWins,      ///< holder doomed under ConflictPolicy::kRequesterWins
+  kLazyInvalidated,    ///< lazy reader lost its cached line to an exclusive
+                       ///< access (DynTM: reads cannot revalidate)
+  kLazyCommitDoom,     ///< a lazy committer's publish overlapped this txn
+  kSuspendedConflict,  ///< suspended txn overlapped a committer's write set
+  kNestingFallback,    ///< partial abort unsupported: full abort instead
+  kExplicit,           ///< workload/test-directed doom
+  kCauseCount,
+};
+
+constexpr const char* abort_cause_name(AbortCause c) {
+  switch (c) {
+    case AbortCause::kNone: return "none";
+    case AbortCause::kDeadlockCycle: return "deadlock-cycle";
+    case AbortCause::kRequesterWins: return "requester-wins";
+    case AbortCause::kLazyInvalidated: return "lazy-invalidated";
+    case AbortCause::kLazyCommitDoom: return "lazy-commit-doom";
+    case AbortCause::kSuspendedConflict: return "suspended-conflict";
+    case AbortCause::kNestingFallback: return "nesting-fallback";
+    case AbortCause::kExplicit: return "explicit";
+    default: return "?";
+  }
+}
+
+}  // namespace suvtm::htm

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/recorder.hpp"
+
 namespace suvtm::htm {
 
 ConflictManager::ConflictManager(std::uint32_t num_cores,
@@ -83,6 +85,13 @@ ConflictManager::Decision ConflictManager::check(CoreId core, LineAddr line,
       d.action = Action::kStall;  // cannot abort a descheduled transaction
       return d;
     }
+    // Proceeding: any lazy readers collected above really do get doomed by
+    // this access's invalidation, so their abort edges are recorded here
+    // (the stalling paths clear the list instead).
+    for ([[maybe_unused]] CoreId r : d.invalidated_lazy_readers) {
+      SUVTM_OBS_HOOK(obs_, on_conflict_edge(core, r, line, txns[r]->site,
+                                            AbortCause::kLazyInvalidated));
+    }
     clear_wait(core);
     return d;
   }
@@ -100,6 +109,10 @@ ConflictManager::Decision ConflictManager::check(CoreId core, LineAddr line,
     d.invalidated_lazy_readers.clear();
     d.holder = holder;
     d.victim = holder;
+    d.victim_cause = AbortCause::kRequesterWins;
+    SUVTM_OBS_HOOK(obs_,
+                   on_conflict_edge(core, holder, line, txns[holder]->site,
+                                    AbortCause::kRequesterWins));
     d.action = Action::kStall;  // stall until the doomed holder drains
     return d;
   }
@@ -135,6 +148,13 @@ ConflictManager::Decision ConflictManager::check(CoreId core, LineAddr line,
       }
     }
     d.victim = victim;
+    d.victim_cause = AbortCause::kDeadlockCycle;
+    // Edge direction: the access that detected the cycle kills the victim;
+    // when the victim is the requester itself, the holder it waited on is
+    // the aborter.
+    SUVTM_OBS_HOOK(obs_, on_conflict_edge(victim == core ? holder : core,
+                                          victim, line, txns[victim]->site,
+                                          AbortCause::kDeadlockCycle));
     d.action = victim == core ? Action::kAbortSelf : Action::kStall;
     if (victim != core) waits_for_[victim] = kNoCore;
     else waits_for_[core] = kNoCore;

@@ -18,6 +18,7 @@
 #include "common/types.hpp"
 #include "htm/signature.hpp"
 #include "htm/txn.hpp"
+#include "obs/obs.hpp"
 #include "sim/config.hpp"
 
 namespace suvtm::htm {
@@ -47,6 +48,7 @@ class ConflictManager {
     Action action = Action::kProceed;
     CoreId holder = kNoCore;  // conflicting core when not kProceed
     CoreId victim = kNoCore;  // transaction doomed by cycle detection
+    AbortCause victim_cause = AbortCause::kNone;  // why `victim` is doomed
     /// Running lazy transactions that only *read* a line this write now
     /// takes exclusive ownership of: the coherence invalidation aborts them
     /// (DynTM semantics). The caller dooms them; the access proceeds.
@@ -91,6 +93,10 @@ class ConflictManager {
 
   const ConflictStats& stats() const { return stats_; }
 
+  /// Observability: check() records an abort edge whenever it picks a
+  /// victim (deadlock cycle, requester-wins, lazy-reader invalidation).
+  void set_obs(obs::Recorder* r) { obs_ = r; }
+
  private:
   /// Walk the wait-for chain from `start`; returns true if it reaches
   /// `target` (a cycle, given target is about to wait on start's chain).
@@ -102,6 +108,7 @@ class ConflictManager {
   const Signature* suspended_reads_ = nullptr;
   const Signature* suspended_writes_ = nullptr;
   ConflictStats stats_;
+  obs::Recorder* obs_ = nullptr;
 };
 
 }  // namespace suvtm::htm

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "check/check.hpp"
+#include "obs/recorder.hpp"
 
 namespace suvtm::htm {
 
@@ -48,6 +49,7 @@ bool HtmSystem::suspend_txn(CoreId core) {
   rebuild_suspended_summary();
   vm_->on_suspend(core);
   SUVTM_CHECK_HOOK(checker_, on_suspend(core));
+  SUVTM_OBS_HOOK(obs_, on_suspend(core));
   return true;
 }
 
@@ -61,6 +63,7 @@ bool HtmSystem::resume_txn(CoreId core) {
       rebuild_suspended_summary();
       vm_->on_resume(core);
       SUVTM_CHECK_HOOK(checker_, on_resume(core));
+      SUVTM_OBS_HOOK(obs_, on_resume(core));
       return true;
     }
   }
@@ -74,6 +77,10 @@ std::size_t HtmSystem::doom_suspended_conflicting(const Txn& committer) {
     for (LineAddr l : committer.write_lines) {
       if (s.txn.read_lines.contains(l) || s.txn.write_lines.contains(l)) {
         s.txn.doomed = true;
+        s.txn.doom_cause = AbortCause::kSuspendedConflict;
+        SUVTM_OBS_HOOK(obs_,
+                       on_conflict_edge(committer.core, s.core, l, s.txn.site,
+                                        AbortCause::kSuspendedConflict));
         ++doomed;
         break;
       }
@@ -82,9 +89,10 @@ std::size_t HtmSystem::doom_suspended_conflicting(const Txn& committer) {
   return doomed;
 }
 
-void HtmSystem::doom(CoreId victim) {
+void HtmSystem::doom(CoreId victim, AbortCause cause) {
   Txn& t = *txns_[victim];
   if (!t.active() || t.state == TxnState::kCommitting) return;
+  if (!t.doomed) t.doom_cause = cause;
   t.doomed = true;
 }
 

@@ -59,12 +59,21 @@ class HtmSystem {
   void set_checker(check::Checker* ck) { checker_ = ck; }
   check::Checker* checker() { return checker_; }
 
+  /// Optional observability recorder; fans out to the conflict manager and
+  /// the version manager (which forwards into the SUV structures).
+  void set_obs(obs::Recorder* r) {
+    obs_ = r;
+    conflicts_.set_obs(r);
+    vm_->set_obs(r);
+  }
+
   HtmStats& stats() { return stats_; }
   const HtmStats& stats() const { return stats_; }
 
   /// Mark a victim transaction for abort (lazy committer wins, or deadlock
-  /// cycle). No-op for idle or committing transactions.
-  void doom(CoreId victim);
+  /// cycle). No-op for idle or committing transactions. The first doom's
+  /// cause sticks; it feeds the abort-cause attribution in obs.
+  void doom(CoreId victim, AbortCause cause = AbortCause::kExplicit);
 
   // --- Thread suspension (paper Section IV-C) ------------------------------
   /// Park the core's running transaction: its read/write sets move into the
@@ -110,6 +119,7 @@ class HtmSystem {
   HtmStats stats_;
   CoreId token_holder_ = kNoCore;
   check::Checker* checker_ = nullptr;
+  obs::Recorder* obs_ = nullptr;
 
   struct Suspended {
     CoreId core;

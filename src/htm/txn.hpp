@@ -7,6 +7,7 @@
 
 #include "common/flat_hash.hpp"
 #include "common/types.hpp"
+#include "htm/abort_cause.hpp"
 #include "htm/signature.hpp"
 
 namespace suvtm::htm {
@@ -66,6 +67,7 @@ struct Txn {
   FlatMap<Addr, std::uint64_t> redo;
 
   bool doomed = false;        // marked for abort by the conflict manager
+  AbortCause doom_cause = AbortCause::kNone;  // why; first doom wins
   bool overflowed = false;    // speculative state left the L1 this attempt
   std::uint32_t commit_waits = 0;  // lazy-commit retries spent on eager holders
   bool lazy = false;          // DynTM execution mode for this attempt
@@ -89,6 +91,7 @@ struct Txn {
     logged_words.clear();
     redo.clear();
     doomed = false;
+    doom_cause = AbortCause::kNone;
     overflowed = false;
     degenerated = false;
     degen_undo_mark = 0;

@@ -12,6 +12,7 @@
 
 #include "common/types.hpp"
 #include "htm/txn.hpp"
+#include "obs/obs.hpp"
 
 namespace suvtm::mem {
 class MemorySystem;
@@ -59,6 +60,10 @@ class VersionManager {
 
   /// Back-reference wiring; called once by HtmSystem after construction.
   virtual void attach(HtmSystem& htm) { htm_ = &htm; }
+
+  /// Observability wiring. Wrappers (DynTM) forward to their backend;
+  /// SuvVm forwards into its redirect table and pools.
+  virtual void set_obs(obs::Recorder* r) { obs_ = r; }
 
   /// Transaction (outermost) begin; returns extra begin cycles.
   virtual Cycle on_begin(Txn&) { return 0; }
@@ -134,6 +139,7 @@ class VersionManager {
  protected:
   VmStats stats_;
   HtmSystem* htm_ = nullptr;
+  obs::Recorder* obs_ = nullptr;
 };
 
 }  // namespace suvtm::htm

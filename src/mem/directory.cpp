@@ -2,13 +2,17 @@
 
 namespace suvtm::mem {
 
-void Directory::remove_core(LineAddr l, CoreId c) {
+bool Directory::remove_core(LineAddr l, CoreId c) {
   auto it = map_.find(l);
-  if (it == map_.end()) return;
+  if (it == map_.end()) return false;
   DirEntry& e = it->second;
   e.sharers &= ~(1u << c);
   if (e.owner == c) e.owner = kNoCore;
-  if (e.sharers == 0 && e.owner == kNoCore) map_.erase(it);
+  if (e.sharers == 0 && e.owner == kNoCore) {
+    map_.erase(it);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace suvtm::mem

@@ -31,8 +31,9 @@ class Directory {
     return it == map_.end() ? nullptr : &it->second;
   }
 
-  /// Drop a core from the line's sharer/owner info (L1 eviction).
-  void remove_core(LineAddr l, CoreId c);
+  /// Drop a core from the line's sharer/owner info (L1 eviction). Returns
+  /// true when this left the entry empty and it was erased from the map.
+  bool remove_core(LineAddr l, CoreId c);
 
   std::size_t tracked_lines() const { return map_.size(); }
 

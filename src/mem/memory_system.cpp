@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/recorder.hpp"
+
 namespace {
 
 /// Bitmask of cores holding a line per the directory entry: S sharers plus
@@ -34,6 +36,7 @@ MemorySystem::MemorySystem(const sim::MemParams& p)
 bool MemorySystem::l2_insert_with_recall(LineAddr l, CohState st) {
   const Cache::Victim v = l2_.insert(l, st);
   if (!v.valid) return false;
+  SUVTM_OBS_HOOK(obs_, on_cache_evict(/*l2=*/true, v.line));
   const DirEntry* de = dir_.find(v.line);
   if (!de || (de->sharers == 0 && de->owner == kNoCore)) return false;
   ++stats_.l2_recalls;
@@ -61,6 +64,7 @@ Cycle MemorySystem::fetch_from_l2_or_memory(LineAddr l, std::uint32_t /*bank_til
 
 void MemorySystem::l1_eviction(CoreId core, const Cache::Victim& v) {
   if (!v.valid) return;
+  SUVTM_OBS_HOOK(obs_, on_cache_evict(/*l2=*/false, v.line));
   if (v.speculative) {
     ++stats_.spec_evictions;
   }
@@ -71,7 +75,8 @@ void MemorySystem::l1_eviction(CoreId core, const Cache::Victim& v) {
     // critical path (background writeback), so no cycles are charged here.
     l2_insert_with_recall(v.line, CohState::kModified);
   }
-  dir_.remove_core(v.line, core);
+  const bool dropped = dir_.remove_core(v.line, core);
+  if (dropped) SUVTM_OBS_HOOK(obs_, on_dir_drop());
 }
 
 AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
@@ -125,6 +130,7 @@ AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
     if (e->owner != kNoCore && e->owner != core) {
       // Forward from the owner; owner downgrades M/E -> S (data to L2).
       ++stats_.forwards;
+      SUVTM_OBS_HOOK(obs_, on_dir_forward(core, e->owner, l));
       out.latency +=
           mesh_.latency(bank, e->owner) + mesh_.latency(e->owner, core);
       if (Cache::Line* oln = l1_[e->owner].find(l)) {
@@ -155,12 +161,15 @@ AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
       out.evicted_line = v.line;
     }
     l1_eviction(core, v);
+    SUVTM_OBS_HOOK(obs_, on_l1_miss(core, obs_->now(), l, out.latency,
+                                    out.l2_hit));
     return out;
   }
 
   // GETM.
   if (e->owner != kNoCore && e->owner != core) {
     ++stats_.forwards;
+    SUVTM_OBS_HOOK(obs_, on_dir_forward(core, e->owner, l));
     out.latency +=
         mesh_.latency(bank, e->owner) + mesh_.latency(e->owner, core);
     if (Cache::Line* oln = l1_[e->owner].find(l)) {
@@ -202,6 +211,8 @@ AccessOutcome MemorySystem::access(CoreId core, Addr a, bool is_write) {
     out.evicted_line = v.line;
   }
   l1_eviction(core, v);
+  SUVTM_OBS_HOOK(obs_, on_l1_miss(core, obs_->now(), l, out.latency,
+                                  out.l2_hit));
   return out;
 }
 
@@ -246,7 +257,8 @@ void MemorySystem::invalidate_speculative(CoreId core) {
     Cache::Line* ln = l1_[core].find(l);
     if (!ln || !ln->speculative) continue;  // stale entry: evicted since
     l1_[core].invalidate(l);
-    dir_.remove_core(l, core);
+    const bool dropped = dir_.remove_core(l, core);
+    if (dropped) SUVTM_OBS_HOOK(obs_, on_dir_drop());
   }
   spec_lines_[core].clear();
 }

@@ -20,6 +20,7 @@
 #include "mem/directory.hpp"
 #include "mem/mesh.hpp"
 #include "mem/tlb.hpp"
+#include "obs/obs.hpp"
 #include "sim/config.hpp"
 
 namespace suvtm::mem {
@@ -100,6 +101,9 @@ class MemorySystem {
   Tlb& tlb(CoreId core) { return tlb_[core]; }
   const sim::MemParams& params() const { return params_; }
 
+  /// Observability wiring; called once by the Simulator when recording is on.
+  void set_obs(obs::Recorder* r) { obs_ = r; }
+
  private:
   Cycle fetch_from_l2_or_memory(LineAddr l, std::uint32_t bank_tile);
   void l1_eviction(CoreId core, const Cache::Victim& v);
@@ -117,6 +121,7 @@ class MemorySystem {
   std::vector<Tlb> tlb_;
   BackingStore store_;
   MemStats stats_;
+  obs::Recorder* obs_ = nullptr;
   /// Per-core lines with the SM bit set (may hold stale entries for lines
   /// since evicted or invalidated; cleared by the flash walks).
   std::vector<std::vector<LineAddr>> spec_lines_;

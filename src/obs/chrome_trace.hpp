@@ -1,0 +1,28 @@
+// Chrome trace-event / Perfetto JSON exporter. One simulated cycle maps to
+// one trace microsecond; pid is the run's submission index in the matrix,
+// tid is the simulated core. Output contains only simulated quantities
+// (never host thread ids or wall times), so the bytes are identical no
+// matter how many host jobs produced the runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace suvtm::obs {
+
+/// One run's trace plus its process label, e.g. "kmeans/SUV-TM".
+struct NamedTrace {
+  std::string name;
+  const TraceData* data = nullptr;
+};
+
+/// Render runs into one Chrome-trace JSON document ({"traceEvents": [...]}).
+std::string chrome_trace_json(const std::vector<NamedTrace>& runs);
+
+/// Write chrome_trace_json to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<NamedTrace>& runs);
+
+}  // namespace suvtm::obs

@@ -1,5 +1,6 @@
 #include "runner/bench_report.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -57,6 +58,28 @@ void BenchReport::set(const std::string& key, const std::string& v) {
   }
   out += '"';
   put(key, std::move(out));
+}
+
+void BenchReport::set_metrics(const obs::MetricsSnapshot& m,
+                              const std::string& prefix) {
+  for (const auto& [name, v] : m.scalars) set(prefix + name, v);
+  for (const auto& h : m.histograms) {
+    const std::string base = prefix + "hist." + h.name;
+    set(base + ".count", h.data.count);
+    set(base + ".mean", h.data.count == 0
+                            ? 0.0
+                            : static_cast<double>(h.data.sum) /
+                                  static_cast<double>(h.data.count));
+    set(base + ".max", h.data.max);
+  }
+  for (const auto& s : m.series) {
+    const std::string base = prefix + "series." + s.name;
+    set(base + ".samples", static_cast<std::uint64_t>(s.points.size()));
+    std::uint64_t mx = 0;
+    for (const auto& p : s.points) mx = std::max(mx, p.v);
+    set(base + ".max", mx);
+    set(base + ".last", s.points.empty() ? 0 : s.points.back().v);
+  }
 }
 
 std::string BenchReport::to_json() const {

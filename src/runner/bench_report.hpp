@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace suvtm::runner {
 
 /// Wall-clock stopwatch for bench harnesses.
@@ -36,6 +38,11 @@ class BenchReport {
     set(key, static_cast<std::uint64_t>(v));
   }
   void set(const std::string& key, const std::string& v);
+
+  /// Flatten a metrics snapshot into `<prefix><name>` keys: scalars land
+  /// directly; each histogram contributes .count/.mean/.max; each series
+  /// contributes .samples/.last/.max.
+  void set_metrics(const obs::MetricsSnapshot& m, const std::string& prefix);
 
   std::string to_json() const;
 

@@ -1,0 +1,110 @@
+#include "runner/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "check/check.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/obs.hpp"
+#include "runner/parallel.hpp"
+
+namespace suvtm::runner {
+
+namespace {
+
+/// A positional that strtod consumes entirely ("0.25", "2", "1e-3").
+bool fully_numeric(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+void fold_metrics(const std::vector<RunResult>& results, BenchReport& report) {
+  obs::MetricsSnapshot merged;
+  for (const auto& r : results) obs::merge(merged, r.metrics);
+  report.set_metrics(merged, "metrics.");
+}
+
+}  // namespace
+
+Cli Cli::parse(int& argc, char** argv) {
+  Cli cli;
+  cli.jobs = ParallelExecutor::parse_jobs(argc, argv);
+  set_default_jobs(cli.jobs);
+
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--smoke") {
+      cli.smoke = true;
+    } else if (a == "--check") {
+      cli.check = true;
+    } else if (a == "--metrics") {
+      cli.metrics = true;
+    } else if (a == "--trace" && i + 1 < argc) {
+      cli.trace_path = argv[++i];
+    } else if (a.rfind("--trace=", 0) == 0) {
+      cli.trace_path = a.substr(8);
+    } else if (a.rfind("--", 0) == 0) {
+      argv[w++] = argv[i];  // unknown flag: leave for the harness
+    } else {
+      double v = 0.0;
+      if (!cli.has_scale && fully_numeric(argv[i], v)) {
+        cli.has_scale = true;
+        cli.scale = v;
+      } else {
+        cli.args.emplace_back(argv[i]);
+      }
+    }
+  }
+  argc = w;
+  argv[argc] = nullptr;
+
+  if (cli.check && !check::kHooksCompiled) {
+    std::fprintf(stderr,
+                 "warning: --check requested but this build has "
+                 "SUVTM_CHECK=OFF; running unchecked\n");
+  }
+  if ((cli.tracing() || cli.metrics) && !obs::kHooksCompiled) {
+    std::fprintf(stderr,
+                 "warning: --trace/--metrics requested but this build has "
+                 "SUVTM_OBS=OFF; nothing will be recorded\n");
+  }
+  return cli;
+}
+
+void Cli::apply(sim::SimConfig& cfg) const {
+  if (check) cfg.check.enabled = true;
+  if (metrics) cfg.obs.metrics = true;
+  if (tracing()) cfg.obs.trace = true;
+}
+
+std::vector<RunResult> run_matrix_cli(std::vector<RunPoint> points,
+                                      const std::vector<std::string>& names,
+                                      const Cli& cli, BenchReport& report) {
+  for (auto& p : points) cli.apply(p.cfg);
+  if (!cli.tracing()) {
+    auto results = run_matrix(points);
+    if (cli.metrics) fold_metrics(results, report);
+    return results;
+  }
+  MatrixTraces mt = run_matrix_traced(points);
+  if (cli.metrics) fold_metrics(mt.results, report);
+  std::vector<obs::NamedTrace> named;
+  named.reserve(mt.traces.size());
+  for (std::size_t i = 0; i < mt.traces.size(); ++i) {
+    named.push_back({i < names.size() ? names[i] : "run", &mt.traces[i]});
+  }
+  if (obs::write_chrome_trace(cli.trace_path, named)) {
+    std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                cli.trace_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write trace to %s\n",
+                 cli.trace_path.c_str());
+  }
+  return std::move(mt.results);
+}
+
+}  // namespace suvtm::runner

@@ -7,16 +7,46 @@
 
 namespace suvtm::runner {
 
-RunResult run_app(stamp::AppId app, const sim::SimConfig& cfg,
-                  const stamp::SuiteParams& params) {
-  sim::Simulator sim(cfg);
-  auto workload = stamp::make_workload(app);
-  workload->build(sim, params);
-  sim.run();
-  workload->verify(sim);
+namespace {
 
+/// Ratio that maps 0/0 to 0 (rates over counters that may never fire).
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+/// Fold the run's stats-block rates into the hook-fed registry snapshot, so
+/// BENCH_*.json carries one uniform metrics namespace.
+void add_derived_metrics(RunResult& r) {
+  obs::MetricsSnapshot& m = r.metrics;
+  m.set("htm.commits", static_cast<double>(r.htm.commits));
+  m.set("htm.aborts", static_cast<double>(r.htm.aborts));
+  m.set("htm.abort_ratio", r.htm.abort_ratio());
+  m.set("htm.overflowed_attempts",
+        static_cast<double>(r.htm.overflowed_attempts));
+  m.set("conflict.sig_false_positive_rate",
+        ratio(r.conflicts.false_conflicts, r.conflicts.conflicts));
+  m.set("mem.l1_miss_rate", ratio(r.mem.l1_misses, r.mem.l1_hits + r.mem.l1_misses));
+  if (r.has_suv) {
+    m.set("suv.summary_false_filter_rate",
+          ratio(r.table.false_filter_hits, r.table.lookups));
+    m.set("suv.table_l1_miss_rate", r.table.l1_miss_rate());
+    m.set("suv.redirect_entries_live",
+          static_cast<double>(r.redirect_entries_live));
+    m.set("suv.pool_lines_in_use", static_cast<double>(r.pool_lines_in_use));
+  }
+  if (r.has_dyntm) {
+    m.set("dyntm.lazy_txn_ratio",
+          ratio(r.dyntm.lazy_txns, r.dyntm.lazy_txns + r.dyntm.eager_txns));
+  }
+}
+
+}  // namespace
+
+RunResult harvest_result(sim::Simulator& sim, std::string app_name,
+                         obs::TraceData* trace_out) {
+  const sim::SimConfig& cfg = sim.config();
   RunResult r;
-  r.app = stamp::app_name(app);
+  r.app = std::move(app_name);
   r.scheme = cfg.scheme;
   r.makespan = sim.makespan();
   r.sim_events = sim.scheduler().events_processed();
@@ -42,7 +72,28 @@ RunResult run_app(stamp::AppId app, const sim::SimConfig& cfg,
       r.pool_lines_in_use += suvvm->pool(c).lines_in_use();
     }
   }
+
+  if (obs::Recorder* rec = sim.recorder()) {
+    if (cfg.obs.metrics) {
+      r.metrics = obs::snapshot(rec->metrics());
+      add_derived_metrics(r);
+    }
+    if (trace_out != nullptr && rec->tracing()) {
+      *trace_out = rec->take_trace();
+    }
+  }
   return r;
+}
+
+RunResult run_app(stamp::AppId app, const sim::SimConfig& cfg,
+                  const stamp::SuiteParams& params,
+                  obs::TraceData* trace_out) {
+  sim::Simulator sim(cfg);
+  auto workload = stamp::make_workload(app);
+  workload->build(sim, params);
+  sim.run();
+  workload->verify(sim);
+  return harvest_result(sim, stamp::app_name(app), trace_out);
 }
 
 std::vector<RunResult> run_matrix(const std::vector<RunPoint>& points,
@@ -56,6 +107,22 @@ std::vector<RunResult> run_matrix(const std::vector<RunPoint>& points,
 
 std::vector<RunResult> run_matrix(const std::vector<RunPoint>& points) {
   return run_matrix(points, default_executor());
+}
+
+MatrixTraces run_matrix_traced(const std::vector<RunPoint>& points,
+                               ParallelExecutor& exec) {
+  MatrixTraces out;
+  out.results.resize(points.size());
+  out.traces.resize(points.size());
+  exec.run_indexed(points.size(), [&](std::size_t i) {
+    out.results[i] =
+        run_app(points[i].app, points[i].cfg, points[i].params, &out.traces[i]);
+  });
+  return out;
+}
+
+MatrixTraces run_matrix_traced(const std::vector<RunPoint>& points) {
+  return run_matrix_traced(points, default_executor());
 }
 
 std::vector<RunResult> run_suite(sim::Scheme scheme, const sim::SimConfig& base,

@@ -12,6 +12,8 @@
 #include "htm/htm_system.hpp"
 #include "htm/version_manager.hpp"
 #include "mem/memory_system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runner/parallel.hpp"
 #include "sim/breakdown.hpp"
 #include "sim/config.hpp"
@@ -44,6 +46,11 @@ struct RunResult {
   bool has_dyntm = false;
   vm::DynTmStats dyntm;
 
+  /// Harvested observability metrics (empty unless cfg.obs asked for
+  /// metrics): the hook-fed registry plus derived rates from the stats
+  /// blocks above, under one uniform namespace.
+  obs::MetricsSnapshot metrics;
+
   /// Field-for-field equality; the determinism tests rely on this covering
   /// every stats struct.
   bool operator==(const RunResult&) const = default;
@@ -56,15 +63,37 @@ struct RunPoint {
   stamp::SuiteParams params;
 };
 
+/// Harvest every stats block -- and, when the run recorded metrics, the
+/// uniform MetricsSnapshot -- from a finished simulation. When `trace_out`
+/// is non-null and the run traced, the event trace is moved into it.
+/// Shared by run_app and api::RunHandle so hand-built simulations produce
+/// the exact RunResult the experiment harness would.
+RunResult harvest_result(sim::Simulator& sim, std::string app_name,
+                         obs::TraceData* trace_out = nullptr);
+
 /// Run `app` under `cfg`, verify workload invariants, and harvest stats.
+/// When `trace_out` is non-null and cfg.obs.trace is set, the run's event
+/// trace is moved into it.
 RunResult run_app(stamp::AppId app, const sim::SimConfig& cfg,
-                  const stamp::SuiteParams& params);
+                  const stamp::SuiteParams& params,
+                  obs::TraceData* trace_out = nullptr);
 
 /// Run every point, fanned across `exec`, results in submission order.
 std::vector<RunResult> run_matrix(const std::vector<RunPoint>& points,
                                   ParallelExecutor& exec);
 /// Same, on the process-wide default executor.
 std::vector<RunResult> run_matrix(const std::vector<RunPoint>& points);
+
+/// run_matrix plus per-point traces, both in submission order (traces are
+/// empty unless the point's cfg.obs.trace is set). Each run owns its own
+/// Recorder, so the traces are byte-stable across host job counts.
+struct MatrixTraces {
+  std::vector<RunResult> results;
+  std::vector<obs::TraceData> traces;
+};
+MatrixTraces run_matrix_traced(const std::vector<RunPoint>& points,
+                               ParallelExecutor& exec);
+MatrixTraces run_matrix_traced(const std::vector<RunPoint>& points);
 
 /// Run every STAMP app under one scheme, fanned across `exec`.
 std::vector<RunResult> run_suite(sim::Scheme scheme, const sim::SimConfig& base,

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -18,7 +20,23 @@ enum class Scheme {
   kDynTmSuv,   ///< DynTM with SUV as its version-management scheme
 };
 
+/// One row of the scheme table: the single source of truth for how a scheme
+/// is spelled everywhere (reports, traces, CLI flags, equivalence output).
+struct SchemeInfo {
+  Scheme scheme;
+  const char* name;      ///< display name, e.g. "SUV-TM"
+  const char* cli_name;  ///< flag-friendly spelling, e.g. "suv"
+};
+
+/// All schemes, in enum order (defined next to the factory in vm/factory.cpp
+/// so adding a scheme touches exactly one file).
+const std::vector<SchemeInfo>& scheme_table();
+const std::vector<Scheme>& all_schemes();
 const char* scheme_name(Scheme s);
+const char* scheme_cli_name(Scheme s);
+/// Accepts either spelling from the table (case-sensitive). Returns false
+/// and leaves `*out` untouched on an unknown name.
+bool scheme_from_string(std::string_view s, Scheme* out);
 
 /// Memory-hierarchy parameters (paper Table III).
 struct MemParams {
@@ -131,12 +149,42 @@ struct CheckParams {
   std::uint32_t audit_interval = 64;
 };
 
+/// Env-var gate shared by the observability knobs: set (non-empty, not "0")
+/// means enabled. Read once per process, like check_enabled_by_env().
+inline bool env_flag(const char* var) {
+  const char* e = std::getenv(var);
+  return e != nullptr && *e != '\0' && !(e[0] == '0' && e[1] == '\0');
+}
+
+/// Runtime knobs for the observability subsystem (src/obs). Only consulted
+/// when the hooks were compiled in (-DSUVTM_OBS=ON); with the hooks compiled
+/// out this block is inert. A Recorder is created iff trace or metrics is
+/// set, so the default-off config costs one never-taken branch per hook.
+struct ObsParams {
+  /// Record lifecycle spans, conflict edges and structure events for the
+  /// Chrome-trace exporter. Defaults from the SUVTM_TRACE env var.
+  bool trace = env_flag("SUVTM_TRACE");
+  /// Fill the metrics registry and harvest a MetricsSnapshot into the
+  /// RunResult. Defaults from the SUVTM_METRICS env var.
+  bool metrics = env_flag("SUVTM_METRICS");
+  /// Also trace per-access memory events (L1 misses, directory forwards).
+  /// Voluminous; off by default even when tracing.
+  bool trace_mem = false;
+  /// Sample occupancy gauges every this many scheduler events.
+  std::uint32_t sample_interval_events = 8192;
+  /// Hard cap on recorded trace events per run (overflow counts `dropped`).
+  std::uint64_t max_trace_events = 1ull << 20;
+
+  bool enabled() const { return trace || metrics; }
+};
+
 struct SimConfig {
   Scheme scheme = Scheme::kSuv;
   MemParams mem;
   HtmParams htm;
   SuvParams suv;
   CheckParams check;
+  ObsParams obs;
   std::uint64_t seed = 1;
   /// Safety valve: abort the simulation if it exceeds this many cycles.
   Cycle max_cycles = 5'000'000'000ull;

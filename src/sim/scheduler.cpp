@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/recorder.hpp"
+
 namespace suvtm::sim {
 
 bool Scheduler::run(Cycle limit) {
@@ -14,6 +16,7 @@ bool Scheduler::run(Cycle limit) {
     free_slots_.push_back(k.slot);
     now_ = k.t;
     ++events_;
+    SUVTM_OBS_HOOK(obs_, on_tick(k.t));
     fn();
   }
   return true;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 #include "sim/small_fn.hpp"
 
 namespace suvtm::sim {
@@ -63,6 +64,10 @@ class Scheduler {
 
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t events_processed() const { return events_; }
+
+  /// Observability: the run loop advances the recorder's cycle cache and
+  /// drives its periodic occupancy sampler (nullptr = off).
+  void set_obs(obs::Recorder* r) { obs_ = r; }
 
  private:
   struct Key {
@@ -114,6 +119,7 @@ class Scheduler {
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
+  obs::Recorder* obs_ = nullptr;
   std::vector<Key> heap_;       // binary min-heap by (t, seq)
   std::vector<SmallFn> slots_;  // parked callbacks, indexed by Key::slot
   std::vector<std::uint32_t> free_slots_;

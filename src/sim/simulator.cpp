@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "vm/dyntm.hpp"
+#include "vm/suv_vm.hpp"
+
 namespace suvtm::sim {
 
 Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg) {
@@ -12,13 +15,39 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg) {
     checker_ = std::make_unique<check::Checker>(cfg_, *mem_, *htm_);
     htm_->set_checker(checker_.get());
   }
+  if (obs::kHooksCompiled && cfg_.obs.enabled()) {
+    recorder_ = std::make_unique<obs::Recorder>(cfg_.obs, cfg_.mem.num_cores);
+    sched_.set_obs(recorder_.get());
+    htm_->set_obs(recorder_.get());
+    mem_->set_obs(recorder_.get());
+
+    // Occupancy gauges, sampled every cfg.obs.sample_interval_events
+    // scheduler events. Everything read here is deterministic simulator
+    // state, so the series are reproducible across host job counts.
+    htm::VersionManager* vmgr = &htm_->vm();
+    if (auto* dyn = dynamic_cast<vm::DynTm*>(vmgr)) vmgr = &dyn->inner();
+    auto* suvvm = dynamic_cast<vm::SuvVm*>(vmgr);
+    recorder_->set_sampler([this, suvvm](obs::Metrics& m, Cycle t) {
+      m.sample(obs::Series::kSuspendedTxns, t, htm_->suspended_count());
+      m.sample(obs::Series::kDirTracked, t, mem_->directory().tracked_lines());
+      if (suvvm != nullptr) {
+        m.sample(obs::Series::kRedirectEntries, t,
+                 suvvm->table().total_entries());
+        std::uint64_t pool_lines = 0;
+        for (CoreId c = 0; c < cfg_.mem.num_cores; ++c) {
+          pool_lines += suvvm->pool(c).lines_in_use();
+        }
+        m.sample(obs::Series::kPoolLines, t, pool_lines);
+      }
+    });
+  }
   breakdowns_.resize(cfg_.mem.num_cores);
   contexts_.reserve(cfg_.mem.num_cores);
   for (CoreId c = 0; c < cfg_.mem.num_cores; ++c) {
     // lint: allow(alloc-in-loop) -- one-time construction, not a sim path
     contexts_.push_back(std::make_unique<ThreadContext>(
         c, cfg_, sched_, *mem_, *htm_, breakdowns_[c],
-        cfg_.seed * 0x100001b3ull + c, checker_.get()));
+        cfg_.seed * 0x100001b3ull + c, checker_.get(), recorder_.get()));
   }
 }
 

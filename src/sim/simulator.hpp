@@ -10,6 +10,7 @@
 #include "common/types.hpp"
 #include "htm/htm_system.hpp"
 #include "mem/memory_system.hpp"
+#include "obs/recorder.hpp"
 #include "sim/barrier.hpp"
 #include "sim/breakdown.hpp"
 #include "sim/config.hpp"
@@ -32,6 +33,11 @@ class Simulator {
   /// The correctness checker, or nullptr when checking is compiled out or
   /// disabled (cfg.check.enabled, defaulted from the SUVTM_CHECK env var).
   check::Checker* checker() { return checker_.get(); }
+
+  /// The observability recorder, or nullptr when the hooks are compiled out
+  /// or cfg.obs asked for neither tracing nor metrics.
+  obs::Recorder* recorder() { return recorder_.get(); }
+  const obs::Recorder* recorder() const { return recorder_.get(); }
 
   /// Create a barrier owned by this simulator (lives until destruction).
   Barrier& make_barrier(std::uint32_t parties);
@@ -62,6 +68,7 @@ class Simulator {
   std::unique_ptr<mem::MemorySystem> mem_;
   std::unique_ptr<htm::HtmSystem> htm_;
   std::unique_ptr<check::Checker> checker_;
+  std::unique_ptr<obs::Recorder> recorder_;
   std::vector<Breakdown> breakdowns_;
   std::vector<std::unique_ptr<ThreadContext>> contexts_;
   std::vector<std::unique_ptr<Barrier>> barriers_;

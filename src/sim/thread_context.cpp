@@ -5,6 +5,7 @@
 
 #include "check/check.hpp"
 #include "htm/htm_system.hpp"
+#include "obs/recorder.hpp"
 #include "sim/scheduler.hpp"
 
 namespace suvtm::sim {
@@ -12,9 +13,10 @@ namespace suvtm::sim {
 ThreadContext::ThreadContext(CoreId core, const SimConfig& cfg,
                              Scheduler& sched, mem::MemorySystem& mem,
                              htm::HtmSystem& htm, Breakdown& breakdown,
-                             std::uint64_t rng_seed, check::Checker* checker)
+                             std::uint64_t rng_seed, check::Checker* checker,
+                             obs::Recorder* obs)
     : core_(core), cfg_(cfg), sched_(sched), mem_(mem), htm_(htm),
-      breakdown_(breakdown), rng_(rng_seed), checker_(checker) {}
+      breakdown_(breakdown), rng_(rng_seed), checker_(checker), obs_(obs) {}
 
 htm::Txn& ThreadContext::txn() { return htm_.txn(core_); }
 
@@ -27,6 +29,9 @@ void ThreadContext::start_abort(bool* aborted, std::coroutine_handle<> h) {
   htm::Txn& t = txn();
   assert(t.active());
   t.state = htm::TxnState::kAborting;
+  // Undoomed paths reaching here are the nested-rollback fallback (partial
+  // abort unsupported): tag them so the abort-cause attribution stays total.
+  if (!t.doomed) t.doom_cause = htm::AbortCause::kNestingFallback;
   // An aborting transaction is not waiting on anyone: drop its wait-for
   // edge now so rollback time cannot fabricate phantom deadlock cycles.
   htm_.conflicts().clear_wait(core_);
@@ -34,11 +39,14 @@ void ThreadContext::start_abort(bool* aborted, std::coroutine_handle<> h) {
   breakdown_.add(Bucket::kAborting, cost);
   attempt_.settle_abort(breakdown_);
   ++htm_.stats().aborts;
+  SUVTM_OBS_HOOK(obs_,
+                 on_abort_window(core_, sched_.now(), cost, t.doom_cause));
   sched_.after(cost, [this, aborted, h] {
     htm::Txn& t2 = txn();
     if (t2.overflowed) ++htm_.stats().overflowed_attempts;
     htm_.vm().on_abort_done(t2);
     SUVTM_CHECK_HOOK(checker_, on_abort_done(core_));
+    SUVTM_OBS_HOOK(obs_, on_txn_abort(core_, sched_.now()));
     htm_.conflicts().clear_wait(core_);
     t2.reset_attempt();  // timestamp survives: progress guarantee
     htm_.conflicts().set_isolation(core_, false);
@@ -61,9 +69,14 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
   const bool exclusive = aw.is_store || aw.rmw;
   auto dec = htm_.conflicts().check(core_, line, exclusive, lazy,
                                     htm_.txn_view());
-  if (dec.victim != kNoCore && dec.victim != core_) htm_.doom(dec.victim);
-  for (CoreId reader : dec.invalidated_lazy_readers) htm_.doom(reader);
+  if (dec.victim != kNoCore && dec.victim != core_) {
+    htm_.doom(dec.victim, dec.victim_cause);
+  }
+  for (CoreId reader : dec.invalidated_lazy_readers) {
+    htm_.doom(reader, htm::AbortCause::kLazyInvalidated);
+  }
   if (dec.action == htm::ConflictManager::Action::kAbortSelf) {
+    htm_.doom(core_, dec.victim_cause);
     start_abort(&aw.aborted, h);
     return;
   }
@@ -71,6 +84,7 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
     const Cycle w = cfg_.htm.stall_retry_interval;
     if (tx) attempt_.add_stalled(w);
     else breakdown_.add(Bucket::kNoTrans, w);
+    SUVTM_OBS_HOOK(obs_, on_stall(core_, sched_.now(), dec.holder, line, w));
     sched_.after(w, [this, &aw, h] { issue_mem(aw, h); });
     return;
   }
@@ -78,6 +92,7 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
   // Access granted: version-management bookkeeping, then the timed access.
   SUVTM_CHECK_HOOK(checker_,
                    on_access_granted(core_, line, exclusive, lazy));
+  SUVTM_OBS_HOOK(obs_, on_access_granted(core_, sched_.now()));
   [[maybe_unused]] const Addr word =
       aw.addr & ~static_cast<Addr>(kWordBytes - 1);
   auto& vm = htm_.vm();
@@ -146,6 +161,7 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
   if (out.evicted_speculative && t.active()) {
     t.overflowed = true;
     vm.on_spec_eviction(t, out.evicted_line);
+    SUVTM_OBS_HOOK(obs_, on_spec_eviction(core_, out.evicted_line));
   }
 
   if (aw.is_store) {
@@ -192,6 +208,7 @@ void ThreadContext::issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h) {
   ++t.attempts;
   ++htm_.stats().begins;
   SUVTM_CHECK_HOOK(checker_, on_begin(core_, sched_.now()));
+  SUVTM_OBS_HOOK(obs_, on_txn_begin(core_, sched_.now(), t.site, t.attempts));
   const Cycle cost = cfg_.htm.checkpoint_latency + htm_.vm().on_begin(t);
   attempt_.add_trans(cost);
   sched_.resume_after(cost, h);
@@ -235,12 +252,15 @@ void ThreadContext::issue_commit(CommitAwaiter& aw, std::coroutine_handle<> h) {
   SUVTM_CHECK_HOOK(checker_, on_commit_start(core_, sched_.now()));
   const Cycle cost = htm_.vm().commit_cost(t);
   breakdown_.add(Bucket::kCommitting, cost);
+  SUVTM_OBS_HOOK(obs_, on_commit_window(core_, sched_.now(), cost));
   sched_.after(cost, [this, h] {
     htm::Txn& t2 = txn();
     if (t2.overflowed) ++htm_.stats().overflowed_attempts;
     htm_.vm().on_commit_done(t2);
     SUVTM_CHECK_HOOK(checker_,
                      on_commit_done(core_, sched_.now(), t2.lazy));
+    SUVTM_OBS_HOOK(obs_,
+                   on_txn_commit(core_, sched_.now(), t2.write_lines.size()));
     if (t2.lazy) htm_.release_commit_token(core_);
     htm_.conflicts().clear_wait(core_);
     attempt_.settle_commit(breakdown_);
@@ -287,6 +307,7 @@ void ThreadContext::issue_backoff(BackoffAwaiter&, std::coroutine_handle<> h) {
   const Cycle ceiling = std::min<Cycle>(p.backoff_cap, p.backoff_base << shift);
   const Cycle wait = rng_.range(p.backoff_base, std::max<Cycle>(p.backoff_base, ceiling));
   breakdown_.add(Bucket::kBackoff, wait);
+  SUVTM_OBS_HOOK(obs_, on_backoff(core_, sched_.now(), wait));
   sched_.resume_after(wait, h);
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 #include "sim/barrier.hpp"
 #include "sim/breakdown.hpp"
 #include "sim/config.hpp"
@@ -34,7 +35,8 @@ class ThreadContext {
   ThreadContext(CoreId core, const SimConfig& cfg, Scheduler& sched,
                 mem::MemorySystem& mem, htm::HtmSystem& htm,
                 Breakdown& breakdown, std::uint64_t rng_seed,
-                check::Checker* checker = nullptr);
+                check::Checker* checker = nullptr,
+                obs::Recorder* obs = nullptr);
 
   // ---- awaitables ----------------------------------------------------------
 
@@ -174,6 +176,7 @@ class ThreadContext {
   AttemptAccount attempt_;
   Rng rng_;
   check::Checker* checker_;  // nullptr unless correctness checking is on
+  obs::Recorder* obs_;       // nullptr unless tracing/metrics is on
 };
 
 }  // namespace suvtm::sim

@@ -1,5 +1,7 @@
 #include "suv/pool.hpp"
 
+#include "obs/recorder.hpp"
+
 namespace suvtm::suv {
 
 PreservedPool::PreservedPool(CoreId core)
@@ -21,7 +23,10 @@ LineAddr PreservedPool::allocate() {
   // the pool physically scattered pages, and the redirect entry carries the
   // page pointer, so contiguity buys nothing while alignment would pile
   // every core's hot pool lines into the same few cache sets.
-  if (next_index_ % kLinesPerPage == 0) ++stats_.pages_allocated;
+  if (next_index_ % kLinesPerPage == 0) {
+    ++stats_.pages_allocated;
+    SUVTM_OBS_HOOK(obs_, on_pool_page(core_));
+  }
   const std::uint64_t span = line_of(kPoolRegionPerCore);  // power of two
   // Mix the core id in: different cores' k-th lines must not share a set.
   const LineAddr scattered =

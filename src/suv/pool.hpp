@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 
 namespace suvtm::suv {
 
@@ -59,6 +60,9 @@ class PreservedPool {
   std::uint64_t lines_in_use() const { return in_use_; }
   const PoolStats& stats() const { return stats_; }
 
+  /// Observability wiring (forwarded from SuvVm::set_obs).
+  void set_obs(obs::Recorder* r) { obs_ = r; }
+
  private:
   CoreId core_ = 0;
   LineAddr base_line_;
@@ -66,6 +70,7 @@ class PreservedPool {
   std::vector<LineAddr> free_list_;
   std::uint64_t in_use_ = 0;
   PoolStats stats_;
+  obs::Recorder* obs_ = nullptr;
 };
 
 }  // namespace suvtm::suv

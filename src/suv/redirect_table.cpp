@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/recorder.hpp"
+
 namespace suvtm::suv {
 
 RedirectTable::RedirectTable(const sim::SuvParams& p, std::uint32_t num_cores)
@@ -52,6 +54,7 @@ void RedirectTable::l2_install(LineAddr l) {
         s.ways.begin(), s.ways.end(),
         [](const auto& a, const auto& b) { return a.second < b.second; });
     ++stats_.l2_evictions;
+    SUVTM_OBS_HOOK(obs_, on_table_spill(lru->first, entry_owner(lru->first)));
     s.ways.erase(lru);
   }
   s.ways.emplace_back(l, ++tick_);
@@ -139,6 +142,7 @@ Cycle RedirectTable::insert_transient(const RedirectEntry& e) {
   assert(!entries_.count(e.original));
   entries_.emplace(e.original, e);
   summary_[e.owner].add(e.original);
+  SUVTM_OBS_HOOK(obs_, on_summary_add());
 
   L1Table& t = l1_[e.owner];
   t.cached.erase(e.original);
@@ -148,6 +152,7 @@ Cycle RedirectTable::insert_transient(const RedirectEntry& e) {
   }
   // First-level overflow: the transient entry lives in the shared table.
   ++stats_.l1_overflow_entries;
+  SUVTM_OBS_HOOK(obs_, on_table_l1_overflow());
   l2_install(e.original);
   return params_.l2_table_latency;
 }
@@ -161,6 +166,7 @@ Cycle RedirectTable::pin_transient(CoreId owner, LineAddr original) {
     return params_.l1_table_latency;
   }
   ++stats_.l1_overflow_entries;
+  SUVTM_OBS_HOOK(obs_, on_table_l1_overflow());
   l2_install(original);
   return params_.l2_table_latency;
 }
@@ -176,7 +182,10 @@ RedirectTable::FlipOutcome RedirectTable::commit_entry(LineAddr original) {
     // written to the shared second-level table so other cores' first-level
     // tables can fill from it instead of faulting to the memory table.
     for (std::size_t c = 0; c < summary_.size(); ++c) {
-      if (static_cast<CoreId>(c) != owner) summary_[c].add(original);
+      if (static_cast<CoreId>(c) != owner) {
+        summary_[c].add(original);
+        SUVTM_OBS_HOOK(obs_, on_summary_add());
+      }
     }
     e->owner = kNoCore;
     L1Table& t = l1_[owner];
@@ -186,7 +195,10 @@ RedirectTable::FlipOutcome RedirectTable::commit_entry(LineAddr original) {
     // g1v0 -> g0v0: the redirection collapsed back to the original address.
     assert(e->state == EntryState::kInvalid);
     out.deleted = true;
-    for (auto& s : summary_) s.remove(original);
+    for (auto& s : summary_) {
+      [[maybe_unused]] const bool stale = s.remove(original);
+      SUVTM_OBS_HOOK(obs_, on_summary_remove(stale));
+    }
     drop_from_caches(original);
     entries_.erase(original);
   }
@@ -201,7 +213,8 @@ RedirectTable::FlipOutcome RedirectTable::abort_entry(LineAddr original) {
   e->state = abort_flip(e->state);
   if (e->state == EntryState::kInvalid) {
     out.deleted = true;
-    summary_[owner].remove(original);
+    [[maybe_unused]] const bool stale = summary_[owner].remove(original);
+    SUVTM_OBS_HOOK(obs_, on_summary_remove(stale));
     drop_from_caches(original);
     entries_.erase(original);
   } else {

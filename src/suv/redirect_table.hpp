@@ -20,6 +20,7 @@
 
 #include "common/flat_hash.hpp"
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 #include "sim/config.hpp"
 #include "suv/redirect_entry.hpp"
 #include "suv/summary_signature.hpp"
@@ -101,6 +102,9 @@ class RedirectTable {
 
   std::size_t total_entries() const { return entries_.size(); }
   const TableStats& stats() const { return stats_; }
+
+  /// Observability wiring (forwarded from SuvVm::set_obs).
+  void set_obs(obs::Recorder* r) { obs_ = r; }
   const SummarySignature& summary(CoreId core) const { return summary_[core]; }
   /// Mutable summary access for corruption-injection tests ONLY.
   SummarySignature& summary_mut(CoreId core) { return summary_[core]; }
@@ -139,6 +143,11 @@ class RedirectTable {
 
   void l1_install(CoreId core, LineAddr l);
   void l2_install(LineAddr l);
+  /// Owner of `l`'s live entry, for spill attribution (kNoCore if global).
+  CoreId entry_owner(LineAddr l) const {
+    const RedirectEntry* e = find(l);
+    return e ? e->owner : kNoCore;
+  }
   bool l2_contains(LineAddr l) const;
   void l2_erase(LineAddr l);
   L2Set& l2_set(LineAddr l) { return l2_sets_[l % l2_sets_.size()]; }
@@ -155,6 +164,7 @@ class RedirectTable {
   std::vector<SummarySignature> summary_;
   std::uint64_t tick_ = 0;
   TableStats stats_;
+  obs::Recorder* obs_ = nullptr;
 };
 
 }  // namespace suvtm::suv

@@ -24,7 +24,7 @@ void SummarySignature::add(LineAddr l) {
   ++members_;
 }
 
-void SummarySignature::remove(LineAddr l) {
+bool SummarySignature::remove(LineAddr l) {
   // Paper Figure 5: clear only the bits this address wrote *uniquely*;
   // shared (count > 1) bits are decremented but remain set, saturated
   // counters are left alone (the filter may only ever shrink toward the
@@ -32,11 +32,14 @@ void SummarySignature::remove(LineAddr l) {
   const std::uint64_t m = htm::Signature::mix(l);
   std::uint32_t b = static_cast<std::uint32_t>(m);
   const std::uint32_t step = static_cast<std::uint32_t>(m >> 32) | 1u;
+  bool still_set = true;
   for (std::uint32_t i = 0; i < k_; ++i, b += step) {
     std::uint8_t& c = counts_[b & (bits_ - 1)];
     if (c != 0 && c != 0xff) --c;
+    if (c == 0) still_set = false;
   }
   if (members_ > 0) --members_;
+  return still_set;
 }
 
 bool SummarySignature::test(LineAddr l) const {

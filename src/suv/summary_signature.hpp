@@ -23,7 +23,10 @@ class SummarySignature {
   SummarySignature(std::uint32_t bits, std::uint32_t hashes);
 
   void add(LineAddr l);
-  void remove(LineAddr l);
+  /// Returns true when the filter still tests positive for `l` afterwards
+  /// (every one of its bits was shared or saturated -- a "stale" removal
+  /// that keeps causing wasteful lookups).
+  bool remove(LineAddr l);
 
   /// True if `l` may be redirected (false positives possible, no false
   /// negatives for present lines).

@@ -1,6 +1,7 @@
 #include "vm/dyntm.hpp"
 
 #include "htm/htm_system.hpp"
+#include "obs/recorder.hpp"
 
 namespace suvtm::vm {
 
@@ -78,7 +79,9 @@ void DynTm::doom_conflicting(const htm::Txn& committer) {
     if (!t || t->state != htm::TxnState::kRunning) continue;
     for (LineAddr l : committer.write_lines) {
       if (t->read_sig.test(l) || t->write_sig.test(l)) {
-        htm_->doom(c);
+        htm_->doom(c, htm::AbortCause::kLazyCommitDoom);
+        SUVTM_OBS_HOOK(obs_, on_conflict_edge(committer.core, c, l, t->site,
+                                              htm::AbortCause::kLazyCommitDoom));
         ++dstats_.lazy_commit_dooms;
         break;
       }

@@ -85,6 +85,10 @@ class DynTm final : public htm::VersionManager {
   }
 
   void attach(htm::HtmSystem& htm) override;
+  void set_obs(obs::Recorder* r) override {
+    htm::VersionManager::set_obs(r);
+    inner_->set_obs(r);
+  }
 
   Cycle on_begin(htm::Txn& txn) override;
   bool commit_ready(htm::Txn& txn) override;

@@ -8,15 +8,52 @@
 
 namespace suvtm::sim {
 
+// The one place scheme spellings live. Display names match the paper's
+// figures; cli names are what benches and examples accept on the command
+// line. Everything else (reports, traces, equivalence, parsing) goes
+// through the accessors below.
+const std::vector<SchemeInfo>& scheme_table() {
+  static const std::vector<SchemeInfo> table = {
+      {Scheme::kLogTmSe, "LogTM-SE", "logtm"},
+      {Scheme::kFasTm, "FasTM", "fastm"},
+      {Scheme::kSuv, "SUV-TM", "suv"},
+      {Scheme::kDynTm, "DynTM", "dyntm"},
+      {Scheme::kDynTmSuv, "DynTM+SUV", "dyntm-suv"},
+  };
+  return table;
+}
+
+const std::vector<Scheme>& all_schemes() {
+  static const std::vector<Scheme> schemes = [] {
+    std::vector<Scheme> out;
+    for (const SchemeInfo& i : scheme_table()) out.push_back(i.scheme);
+    return out;
+  }();
+  return schemes;
+}
+
 const char* scheme_name(Scheme s) {
-  switch (s) {
-    case Scheme::kLogTmSe: return "LogTM-SE";
-    case Scheme::kFasTm: return "FasTM";
-    case Scheme::kSuv: return "SUV-TM";
-    case Scheme::kDynTm: return "DynTM";
-    case Scheme::kDynTmSuv: return "DynTM+SUV";
-    default: return "?";
+  for (const SchemeInfo& i : scheme_table()) {
+    if (i.scheme == s) return i.name;
   }
+  return "?";
+}
+
+const char* scheme_cli_name(Scheme s) {
+  for (const SchemeInfo& i : scheme_table()) {
+    if (i.scheme == s) return i.cli_name;
+  }
+  return "?";
+}
+
+bool scheme_from_string(std::string_view s, Scheme* out) {
+  for (const SchemeInfo& i : scheme_table()) {
+    if (s == i.name || s == i.cli_name) {
+      *out = i.scheme;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::unique_ptr<htm::VersionManager> make_version_manager(

@@ -1,6 +1,7 @@
 #include "vm/fastm.hpp"
 
 #include "mem/cache.hpp"
+#include "obs/recorder.hpp"
 #include "vm/logtm_se.hpp"
 
 namespace suvtm::vm {
@@ -46,6 +47,7 @@ Cycle FasTm::abort_cost(htm::Txn& txn) {
   ++fstats_.slow_aborts;
   const Cycle walked =
       static_cast<Cycle>(txn.undo.size() - txn.degen_undo_mark);
+  SUVTM_OBS_HOOK(obs_, on_undo_walk(walked));
   return params_.fastm_flash_abort + params_.abort_trap_latency +
          params_.abort_per_entry * walked;
 }
@@ -85,6 +87,7 @@ void FasTm::on_spec_eviction(htm::Txn& txn, LineAddr) {
     txn.degenerated = true;
     txn.degen_undo_mark = txn.undo.size();
     ++stats_.degenerations;
+    SUVTM_OBS_HOOK(obs_, on_degeneration(txn.core));
   }
 }
 

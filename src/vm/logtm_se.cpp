@@ -1,5 +1,7 @@
 #include "vm/logtm_se.hpp"
 
+#include "obs/recorder.hpp"
+
 namespace suvtm::vm {
 
 Cycle log_undo_word(htm::Txn& txn, Addr a, mem::MemorySystem& mem,
@@ -43,6 +45,7 @@ void LogTmSe::on_commit_done(htm::Txn& txn) {
 Cycle LogTmSe::abort_cost(htm::Txn& txn) {
   // Trap into the software handler, then restore entries one by one; the
   // isolation window stays open throughout (repair pathology).
+  SUVTM_OBS_HOOK(obs_, on_undo_walk(txn.undo.size()));
   return params_.abort_trap_latency +
          params_.abort_per_entry * static_cast<Cycle>(txn.undo.size());
 }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/recorder.hpp"
+
 namespace suvtm::vm {
 
 namespace {
@@ -109,6 +111,8 @@ Cycle SuvVm::commit_cost(htm::Txn& txn) {
   if (owned_[txn.core].size() > table_.l1_capacity()) {
     ++sstats_.table_overflow_txns;
   }
+  SUVTM_OBS_HOOK(obs_, on_suv_flash(txn.core, /*commit=*/true,
+                                    owned_[txn.core].size()));
   return c;
 }
 
@@ -130,6 +134,8 @@ void SuvVm::on_commit_done(htm::Txn& txn) {
 }
 
 Cycle SuvVm::abort_cost(htm::Txn& txn) {
+  SUVTM_OBS_HOOK(obs_, on_suv_flash(txn.core, /*commit=*/false,
+                                    owned_[txn.core].size()));
   return params_.flash_abort + overflow_flip_cost(txn);
 }
 

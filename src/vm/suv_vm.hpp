@@ -39,6 +39,12 @@ class SuvVm final : public htm::VersionManager {
 
   const char* name() const override { return "SUV-TM"; }
 
+  void set_obs(obs::Recorder* r) override {
+    htm::VersionManager::set_obs(r);
+    table_.set_obs(r);
+    for (auto& p : pools_) p->set_obs(r);
+  }
+
   htm::LoadAction resolve_load(CoreId core, htm::Txn* txn, Addr a) override;
   Addr debug_resolve(CoreId core, Addr a) const override;
   htm::StoreAction on_tx_store(htm::Txn& txn, Addr a) override;

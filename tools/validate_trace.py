@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file produced by the obs exporter.
+
+Checks the structural contract ui.perfetto.dev / chrome://tracing rely on:
+a top-level "traceEvents" list whose entries carry the phase-appropriate
+keys, complete ("X") durations, process-name metadata for every pid used,
+and monotone non-negative simulated timestamps. Exits non-zero with a
+per-violation message, so CI can gate on any exporter regression.
+
+Usage: validate_trace.py TRACE.json [--min-events N]
+"""
+import argparse
+import json
+import sys
+
+REQUIRED_COMMON = ("ph", "pid", "tid", "name", "ts")
+KNOWN_PHASES = {"X", "i", "M"}
+
+
+def fail(msgs):
+    for m in msgs:
+        print(f"validate_trace: {m}", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum number of non-metadata events expected")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail([f"cannot load {args.trace}: {e}"])
+
+    errors = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(["top-level 'traceEvents' list missing"])
+
+    named_pids = set()
+    used_pids = set()
+    payload = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") == "process_name":
+                named_pids.add(e.get("pid"))
+            continue
+        missing = [k for k in REQUIRED_COMMON if k not in e]
+        if missing:
+            errors.append(f"event {i}: missing keys {missing}")
+            continue
+        if ph not in KNOWN_PHASES:
+            errors.append(f"event {i}: unknown phase {ph!r}")
+        if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+            errors.append(f"event {i}: bad ts {e['ts']!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i}: complete event with bad dur {dur!r}")
+        used_pids.add(e["pid"])
+        payload += 1
+
+    for pid in sorted(used_pids - named_pids):
+        errors.append(f"pid {pid} has events but no process_name metadata")
+    if payload < args.min_events:
+        errors.append(f"only {payload} events; expected >= {args.min_events}")
+
+    if errors:
+        return fail(errors[:25] + ([f"... and {len(errors) - 25} more"]
+                                   if len(errors) > 25 else []))
+    print(f"validate_trace: OK ({payload} events, "
+          f"{len(used_pids)} trace processes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
