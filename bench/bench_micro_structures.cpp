@@ -6,8 +6,11 @@
 //
 // Besides the google-benchmark suite, main() runs fixed head-to-heads and
 // writes them to BENCH_micro_structures.json:
-//   - the current scheduler (move-friendly binary heap + SmallFn callbacks)
-//     vs the seed implementation (std::priority_queue of std::function);
+//   - the calendar-queue scheduler (per-cycle buckets, batched same-cycle
+//     dispatch) vs the binary-heap scheduler it replaced (SmallFn slot-pool
+//     min-heap, PR 5 state), vs a per-event-dispatch calendar variant
+//     (isolates the batching win), vs the seed implementation
+//     (std::priority_queue of std::function);
 //   - the flat containers (LineSet / FlatMap) vs the node-based
 //     std::unordered_set/map they replaced, on footprint- and
 //     redo-log-shaped churn;
@@ -18,11 +21,17 @@
 //     and on, as events/sec ratios.
 //
 // Usage: bench_micro_structures [gbench args] [--baseline-events-per-sec X]
+//                               [--smoke]
 //   X is the events_per_sec_jobs1 reported by a main-built bench_scaling on
 //   this host (BENCH_scaling.json); when given, the report also records the
 //   end-to-end speedup of this build over that baseline.
+//   --smoke runs only the scheduler head-to-head (seconds, not minutes) and
+//   still writes the JSON report -- the CI perf-smoke job gates on its
+//   calendar_vs_heap_speedup row.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -90,6 +99,232 @@ class LegacyScheduler {
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// The PR 5 scheduler, verbatim in shape: a hand-rolled binary min-heap of
+// (t, seq, slot) POD keys over a free-listed SmallFn slot pool. This is the
+// binary-heap baseline the calendar queue replaced -- the head-to-head the
+// CI perf-smoke job gates on.
+class BaselineHeapScheduler {
+ public:
+  Cycle now() const { return now_; }
+
+  void at(Cycle t, sim::SmallFn fn) {
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(fn));
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(fn);
+    }
+    heap_.emplace_back();  // reserve the hole; sift_up fills it
+    sift_up(heap_.size() - 1, Key{t, seq_++, slot});
+  }
+
+  void after(Cycle delay, sim::SmallFn fn) { at(now_ + delay, std::move(fn)); }
+
+  bool run(Cycle limit) {
+    while (!heap_.empty()) {
+      if (heap_.front().t > limit) return false;
+      const Key k = pop_min();
+      sim::SmallFn fn = std::move(slots_[k.slot]);
+      free_slots_.push_back(k.slot);
+      now_ = k.t;
+      ++events_;
+      fn();
+    }
+    return true;
+  }
+
+  std::uint64_t events_processed() const { return events_; }
+
+ private:
+  struct Key {
+    Cycle t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+
+    bool before(const Key& o) const {
+      return t != o.t ? t < o.t : seq < o.seq;
+    }
+  };
+
+  void sift_up(std::size_t i, Key k) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!k.before(heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = k;
+  }
+
+  Key pop_min() {
+    const Key min = heap_.front();
+    const Key last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n > 0) {
+      std::size_t i = 0;
+      for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n && heap_[child + 1].before(heap_[child])) ++child;
+        if (!heap_[child].before(last)) break;
+        heap_[i] = heap_[child];
+        i = child;
+      }
+      heap_[i] = last;
+    }
+    return min;
+  }
+
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::vector<Key> heap_;
+  std::vector<sim::SmallFn> slots_;
+  std::vector<std::uint32_t> free_slots_;
+};
+
+// The production calendar queue minus batching: same wheel geometry, same
+// occupancy bitmap, same SmallFn slot pool, but run() dispatches ONE event
+// per scan -- the bitmap walk, bucket bookkeeping and now_ advance are paid
+// per event instead of per cycle. The gap between this row and the
+// production scheduler is exactly the batched-dispatch win.
+class CalendarPerEventScheduler {
+ public:
+  static constexpr std::uint32_t kWheelBits = 11;
+  static constexpr std::uint32_t kWheelSize = 1u << kWheelBits;
+  static constexpr Cycle kWheelMask = kWheelSize - 1;
+
+  CalendarPerEventScheduler() : wheel_(kWheelSize) {}
+
+  Cycle now() const { return now_; }
+
+  void at(Cycle t, sim::SmallFn fn) {
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(fn));
+      free_slots_.reserve(slots_.capacity());
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(fn);
+    }
+    ++pending_;
+    if (t - window_start_ < kWheelSize) {
+      const std::uint32_t idx = static_cast<std::uint32_t>(t & kWheelMask);
+      wheel_[idx].push_back(slot);
+      occ_[idx >> 6] |= 1ull << (idx & 63u);
+      occ_summary_ |= 1ull << (idx >> 6);
+      ++window_count_;
+      if (t < scan_t_) scan_t_ = t;
+    } else {
+      overflow_.push_back(Key{t, seq_, slot});
+      std::push_heap(overflow_.begin(), overflow_.end(), Key::later);
+    }
+    ++seq_;
+  }
+
+  void after(Cycle delay, sim::SmallFn fn) { at(now_ + delay, std::move(fn)); }
+
+  bool run(Cycle limit) {
+    while (pending_ > 0) {
+      if (window_count_ == 0) {
+        const Cycle t0 = overflow_.front().t;
+        if (t0 > limit) return false;
+        window_start_ = t0;
+        scan_t_ = t0;
+        while (!overflow_.empty() &&
+               overflow_.front().t - window_start_ < kWheelSize) {
+          std::pop_heap(overflow_.begin(), overflow_.end(), Key::later);
+          const Key k = overflow_.back();
+          overflow_.pop_back();
+          const std::uint32_t idx =
+              static_cast<std::uint32_t>(k.t & kWheelMask);
+          wheel_[idx].push_back(k.slot);
+          occ_[idx >> 6] |= 1ull << (idx & 63u);
+          occ_summary_ |= 1ull << (idx >> 6);
+          ++window_count_;
+        }
+      }
+      // Per-event scan: one bitmap walk and one bucket-head pop per event.
+      const std::uint32_t idx0 =
+          static_cast<std::uint32_t>(scan_t_ & kWheelMask);
+      const std::uint32_t idx = next_occupied(idx0);
+      scan_t_ += (idx - idx0) & kWheelMask;
+      if (scan_t_ > limit) return false;
+      Bucket& b = wheel_[idx];
+      const std::uint32_t slot = b[head_ == idx ? cursor_ : 0];
+      if (head_ != idx) {
+        head_ = idx;
+        cursor_ = 0;
+      }
+      ++cursor_;
+      now_ = scan_t_;
+      sim::SmallFn fn = std::move(slots_[slot]);
+      free_slots_.push_back(slot);
+      ++events_;
+      --pending_;
+      --window_count_;
+      if (cursor_ >= b.size()) {
+        b.clear();
+        head_ = ~0u;
+        cursor_ = 0;
+        occ_[idx >> 6] &= ~(1ull << (idx & 63u));
+        if (occ_[idx >> 6] == 0) occ_summary_ &= ~(1ull << (idx >> 6));
+        ++scan_t_;
+      }
+      fn();
+    }
+    return true;
+  }
+
+  std::uint64_t events_processed() const { return events_; }
+
+ private:
+  struct Key {
+    Cycle t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    static bool later(const Key& a, const Key& b) {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+  using Bucket = std::vector<std::uint32_t>;
+  static constexpr std::uint32_t kOccWords = kWheelSize / 64;
+
+  std::uint32_t next_occupied(std::uint32_t from) const {
+    const std::uint32_t w0 = from >> 6;
+    const std::uint64_t head = occ_[w0] & (~0ull << (from & 63u));
+    if (head != 0) {
+      return (w0 << 6) | static_cast<std::uint32_t>(std::countr_zero(head));
+    }
+    const std::uint64_t above = occ_summary_ & (~0ull << (w0 + 1));
+    const std::uint32_t w = static_cast<std::uint32_t>(
+        std::countr_zero(above != 0 ? above : occ_summary_));
+    return (w << 6) | static_cast<std::uint32_t>(std::countr_zero(occ_[w]));
+  }
+
+  Cycle now_ = 0;
+  Cycle window_start_ = 0;
+  Cycle scan_t_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t window_count_ = 0;
+  std::uint32_t head_ = ~0u;   // bucket index cursor_ refers to
+  std::uint32_t cursor_ = 0;   // events already drained from head_
+  std::vector<Bucket> wheel_;
+  std::uint64_t occ_[kOccWords] = {};
+  std::uint64_t occ_summary_ = 0;
+  std::vector<Key> overflow_;
+  std::vector<sim::SmallFn> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 // Simulator-shaped event churn: kChains self-rescheduling handlers (one per
@@ -320,35 +555,46 @@ void BM_SchedulerEventChurnLegacy(benchmark::State& state) {
 BENCHMARK(BM_SchedulerEventChurnLegacy);
 
 /// Fixed head-to-head for the JSON report: events/sec through each
-/// scheduler implementation on the identical churn workload.
-void scheduler_report(runner::BenchReport& report) {
-  constexpr std::uint64_t kEvents = 2'000'000;
-  // Warm both allocators/caches once before timing.
-  scheduler_churn<sim::Scheduler>(kEvents / 10);
-  scheduler_churn<LegacyScheduler>(kEvents / 10);
+/// scheduler implementation on the identical churn workload. The
+/// calendar-vs-heap ratio is the row the CI perf-smoke job gates on (>= 2x).
+void scheduler_report(runner::BenchReport& report, bool smoke) {
+  const std::uint64_t kEvents = smoke ? 500'000 : 2'000'000;
+  const auto timed = [&](auto tag) {
+    using Sched = decltype(tag);
+    scheduler_churn<Sched>(kEvents / 10);  // warm allocators/caches
+    runner::WallTimer t;
+    const std::uint64_t n = scheduler_churn<Sched>(kEvents);
+    const double s = t.seconds();
+    return s > 0 ? static_cast<double>(n) / s : 0.0;
+  };
 
-  runner::WallTimer t_new;
-  const std::uint64_t n_new = scheduler_churn<sim::Scheduler>(kEvents);
-  const double s_new = t_new.seconds();
+  const double eps_cal = timed(sim::Scheduler{});
+  const double eps_per_event = timed(CalendarPerEventScheduler{});
+  const double eps_heap = timed(BaselineHeapScheduler{});
+  const double eps_legacy = timed(LegacyScheduler{});
 
-  runner::WallTimer t_old;
-  const std::uint64_t n_old = scheduler_churn<LegacyScheduler>(kEvents);
-  const double s_old = t_old.seconds();
-
-  const double eps_new = s_new > 0 ? static_cast<double>(n_new) / s_new : 0.0;
-  const double eps_old = s_old > 0 ? static_cast<double>(n_old) / s_old : 0.0;
-  const double ratio = eps_old > 0 ? eps_new / eps_old : 0.0;
+  const double vs_heap = eps_heap > 0 ? eps_cal / eps_heap : 0.0;
+  const double vs_per_event = eps_per_event > 0 ? eps_cal / eps_per_event : 0.0;
+  const double vs_legacy = eps_legacy > 0 ? eps_cal / eps_legacy : 0.0;
   std::printf("\nscheduler head-to-head (%llu events):\n"
-              "  SmallFn heap       : %12.0f events/s\n"
-              "  legacy std::function: %11.0f events/s\n"
-              "  speedup            : %.2fx\n",
-              static_cast<unsigned long long>(kEvents), eps_new, eps_old,
-              ratio);
+              "  calendar queue (batched)  : %12.0f events/s\n"
+              "  calendar, per-event       : %12.0f events/s\n"
+              "  binary heap (PR 5)        : %12.0f events/s\n"
+              "  legacy std::function heap : %12.0f events/s\n"
+              "  calendar vs heap          : %.2fx\n"
+              "  batched vs per-event      : %.2fx\n"
+              "  calendar vs legacy        : %.2fx\n",
+              static_cast<unsigned long long>(kEvents), eps_cal, eps_per_event,
+              eps_heap, eps_legacy, vs_heap, vs_per_event, vs_legacy);
 
   report.set("scheduler_events", kEvents);
-  report.set("events_per_sec_smallfn_heap", eps_new);
-  report.set("events_per_sec_legacy_stdfunction", eps_old);
-  report.set("scheduler_speedup", ratio);
+  report.set("events_per_sec_calendar_queue", eps_cal);
+  report.set("events_per_sec_calendar_per_event", eps_per_event);
+  report.set("events_per_sec_binary_heap", eps_heap);
+  report.set("events_per_sec_legacy_stdfunction", eps_legacy);
+  report.set("calendar_vs_heap_speedup", vs_heap);
+  report.set("batched_vs_per_event_speedup", vs_per_event);
+  report.set("scheduler_speedup", vs_legacy);
 }
 
 /// Fixed flat-vs-node container head-to-heads on the same churn workloads
@@ -550,14 +796,22 @@ int main(int argc, char** argv) {
   }
   // Strip the shared harness flags too (google-benchmark rejects unknown
   // flags); the overhead sections configure obs/check explicitly, so only
-  // --jobs has an effect here.
-  (void)runner::Cli::parse(argc, argv);
+  // --jobs and --smoke have an effect here.
+  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  if (cli.smoke) {
+    // CI perf-smoke mode: just the scheduler head-to-head (the row the CI
+    // gate asserts on), no google-benchmark suite, no end-to-end runs.
+    runner::BenchReport report("micro_structures");
+    scheduler_report(report, /*smoke=*/true);
+    report.write();
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   runner::BenchReport report("micro_structures");
-  scheduler_report(report);
+  scheduler_report(report, /*smoke=*/false);
   container_report(report);
   end_to_end_report(report, baseline_eps);
   checker_overhead_report(report);

@@ -30,6 +30,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -142,7 +143,23 @@ class FlatTable {
   /// Drop all entries but keep the slot allocation (hot clear).
   void clear() {
     if (size_ == 0) return;
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
+    // Word-scan the occupancy bytes: cleared tables are mostly free slots
+    // (transaction-lifetime tables grow to a high-water capacity and reset
+    // every attempt), so an all-free 8-slot group costs one 64-bit load.
+    const std::size_t n = slots_.size();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, used_.data() + i, 8);
+      if (w == 0) continue;
+      for (std::size_t j = i; j < i + 8; ++j) {
+        if (used_[j]) {
+          slots_[j] = Slot{};
+          used_[j] = 0;
+        }
+      }
+    }
+    for (; i < n; ++i) {
       if (used_[i]) {
         slots_[i] = Slot{};
         used_[i] = 0;

@@ -8,9 +8,61 @@
 namespace suvtm::htm {
 
 ConflictManager::ConflictManager(std::uint32_t num_cores,
-                                 sim::ConflictPolicy policy)
-    : waits_for_(num_cores, kNoCore), policy_(policy) {
-  assert(num_cores <= 64 && "isolation mask is a 64-bit word");
+                                 sim::ConflictPolicy policy,
+                                 std::uint32_t sig_bits,
+                                 std::uint32_t sig_hashes)
+    : waits_for_(num_cores, kNoCore),
+      policy_(policy),
+      col_bits_(sig_bits),
+      col_k_(sig_hashes),
+      read_cols_(sig_bits, 0),
+      write_cols_(sig_bits, 0),
+      touched_(num_cores),
+      needs_full_clear_(num_cores, 0) {
+  assert(num_cores <= 64 && "isolation/column masks are 64-bit words");
+  assert(std::has_single_bit(sig_bits) && "signature bits must be a power of 2");
+}
+
+void ConflictManager::clear_columns(CoreId core) {
+  std::vector<std::uint64_t>& journal = touched_[core];
+  const std::uint64_t keep = ~(1ull << core);
+  // Past ~bits/k journal entries the positions cover most of the filter
+  // anyway; the sweep is cheaper and exact.
+  if (needs_full_clear_[core] || journal.size() * col_k_ > col_bits_) {
+    for (std::uint64_t& w : read_cols_) w &= keep;
+    for (std::uint64_t& w : write_cols_) w &= keep;
+    needs_full_clear_[core] = 0;
+  } else {
+    for (const std::uint64_t m : journal) {
+      std::uint32_t b = static_cast<std::uint32_t>(m);
+      const std::uint32_t step = static_cast<std::uint32_t>(m >> 32) | 1u;
+      for (std::uint32_t i = 0; i < col_k_; ++i, b += step) {
+        const std::uint32_t idx = b & (col_bits_ - 1);
+        read_cols_[idx] &= keep;
+        write_cols_[idx] &= keep;
+      }
+    }
+  }
+  journal.clear();
+}
+
+void ConflictManager::resync(CoreId core, const Txn& t) {
+  clear_columns(core);
+  const std::uint64_t bit = 1ull << core;
+  const auto install = [&](std::vector<std::uint64_t>& cols,
+                           const Signature& sig) {
+    const auto& words = sig.words();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      for (std::uint64_t word = words[w]; word != 0; word &= word - 1) {
+        cols[(w << 6) | static_cast<std::size_t>(std::countr_zero(word))] |=
+            bit;
+      }
+    }
+  };
+  install(read_cols_, t.read_sig);
+  install(write_cols_, t.write_sig);
+  // The journal never saw these bits: the next release must sweep.
+  needs_full_clear_[core] = 1;
 }
 
 bool ConflictManager::reaches(CoreId start, CoreId target) const {
@@ -25,19 +77,19 @@ bool ConflictManager::reaches(CoreId start, CoreId target) const {
   return false;
 }
 
-ConflictManager::Decision ConflictManager::check(CoreId core, LineAddr line,
-                                                 bool is_write,
-                                                 bool requester_lazy,
-                                                 const std::vector<Txn*>& txns) {
+ConflictManager::Decision ConflictManager::check_slow(
+    CoreId core, LineAddr line, bool is_write, bool requester_lazy,
+    const std::vector<Txn*>& txns, std::uint64_t lm, std::uint64_t cand) {
   const Txn* self = txns[core];
-  const std::uint64_t lm = Signature::mix(line);  // shared by every probe
   CoreId holder = kNoCore;
   bool exact = false;
   Decision d;
-  // Scan only cores whose transaction holds isolation (bit iteration walks
-  // cores in increasing order, matching the old full loop's tie-breaking).
-  for (std::uint64_t m = isolation_mask_ & ~(1ull << core); m != 0;
-       m &= m - 1) {
+  // `cand` came from the inline bit-sliced pre-filter: cores outside it are
+  // proven signature misses. This loop re-tests the survivors' real
+  // signatures, so decisions are identical to the historical full per-core
+  // scan (bit iteration walks cores in increasing order, matching the old
+  // loop's tie-breaking).
+  for (std::uint64_t m = cand; m != 0; m &= m - 1) {
     const CoreId c = static_cast<CoreId>(std::countr_zero(m));
     const Txn* t = txns[c];
     if (!t || !t->holds_isolation()) continue;

@@ -35,9 +35,13 @@ struct ConflictStats {
 
 class ConflictManager {
  public:
+  /// `sig_bits`/`sig_hashes` must match the per-transaction signature
+  /// geometry: the bit-sliced columns below index with the exact same
+  /// double-hash derivation, so a column miss proves a signature miss.
   ConflictManager(std::uint32_t num_cores,
                   sim::ConflictPolicy policy =
-                      sim::ConflictPolicy::kRequesterStalls);
+                      sim::ConflictPolicy::kRequesterStalls,
+                  std::uint32_t sig_bits = 2048, std::uint32_t sig_hashes = 4);
 
   sim::ConflictPolicy policy() const { return policy_; }
 
@@ -65,19 +69,69 @@ class ConflictManager {
   ///    buffered data, so they pass),
   ///  - a lazy requester checks only holders' write signatures (readers do
   ///    not block it; it is doomed at their commit instead).
+  ///
+  /// Inline fast path: the bit-sliced column probe proves "no signature can
+  /// hit" for the overwhelming majority of accesses without an out-of-line
+  /// call; only candidate hits and suspended-summary checks take the slow
+  /// path. A read can only conflict with write sets; a write with read or
+  /// write sets (superset of every branch of the matrix above).
   Decision check(CoreId core, LineAddr line, bool is_write, bool requester_lazy,
-                 const std::vector<Txn*>& txns);
+                 const std::vector<Txn*>& txns) {
+    const std::uint64_t lm = Signature::mix(line);
+    std::uint64_t cand = probe_columns(write_cols_, lm);
+    if (is_write) cand |= probe_columns(read_cols_, lm);
+    cand &= isolation_mask_ & ~(1ull << core);
+    if (cand == 0) [[likely]] {
+      // Suspended-transaction summaries are not in the columns; test them
+      // here so a registered summary doesn't force every access out of
+      // line. Misses take the same proceed path the slow scan would.
+      const bool susp_hit =
+          (is_write && suspended_reads_ && suspended_reads_->test_mixed(lm)) ||
+          (suspended_writes_ && suspended_writes_->test_mixed(lm));
+      if (!susp_hit) [[likely]] {
+        waits_for_[core] = kNoCore;  // == clear_wait(core): access proceeds
+        return {};
+      }
+    }
+    return check_slow(core, line, is_write, requester_lazy, txns, lm, cand);
+  }
 
   /// Callers must report every isolation transition (a core's txn going
-  /// kIdle <-> non-idle) here. check() scans only the cores with their bit
-  /// set instead of every core per access -- most accesses happen while few
-  /// transactions are live, so this is the difference between O(active) and
-  /// O(cores) on the hottest path in the simulator.
+  /// kIdle <-> non-idle) here. check() intersects the bit-sliced candidate
+  /// mask with the cores holding isolation; releasing also scrubs the
+  /// core's column bits so stale candidates stay bounded by one
+  /// transaction's footprint.
   void set_isolation(CoreId core, bool held) {
     const std::uint64_t bit = 1ull << core;
-    if (held) isolation_mask_ |= bit;
-    else isolation_mask_ &= ~bit;
+    if (held) {
+      isolation_mask_ |= bit;
+    } else {
+      isolation_mask_ &= ~bit;
+      clear_columns(core);
+    }
   }
+
+  /// Mirror of Txn::read_sig.add / write_sig.add: every line added to a
+  /// LIVE transaction's signature must be reported here (first add per line
+  /// suffices -- repeats set the same bits) so the bit-sliced columns stay
+  /// a superset of the per-core signatures (the correctness contract
+  /// check() relies on: column miss => signature miss). The touched mixes
+  /// are journaled so release clears cost O(footprint), not O(sig bits).
+  void note_read(CoreId core, LineAddr l) {
+    const std::uint64_t m = Signature::mix(l);
+    set_column_bits(read_cols_, core, m);
+    touched_[core].push_back(m);
+  }
+  void note_write(CoreId core, LineAddr l) {
+    const std::uint64_t m = Signature::mix(l);
+    set_column_bits(write_cols_, core, m);
+    touched_[core].push_back(m);
+  }
+
+  /// Rebuild `core`'s column bits from a transaction whose signatures were
+  /// restored wholesale (deschedule/resume round trip) rather than grown
+  /// add-by-add through note_read/note_write.
+  void resync(CoreId core, const Txn& t);
 
   /// The requester's access succeeded or its transaction ended: drop its
   /// wait-for edge.
@@ -98,13 +152,61 @@ class ConflictManager {
   void set_obs(obs::Recorder* r) { obs_ = r; }
 
  private:
+  /// The rest of check(): scan the candidate cores' real signatures, apply
+  /// the stall/requester-wins policy and deadlock detection. `lm` is the
+  /// precomputed line mix, `cand` the masked candidate-core set.
+  Decision check_slow(CoreId core, LineAddr line, bool is_write,
+                      bool requester_lazy, const std::vector<Txn*>& txns,
+                      std::uint64_t lm, std::uint64_t cand);
+
   /// Walk the wait-for chain from `start`; returns true if it reaches
   /// `target` (a cycle, given target is about to wait on start's chain).
   bool reaches(CoreId start, CoreId target) const;
 
+  // ---- bit-sliced signature columns ---------------------------------------
+  // cols[idx] holds one bit per core: set iff that core's signature has
+  // filter bit `idx` set (or had it set since the core's last isolation
+  // release -- stale supersets are harmless, the scan re-tests the real
+  // signatures). Probing all cores therefore costs k column loads TOTAL
+  // instead of k loads per active core: with the same (b, step) walk as
+  // Signature::test_mixed, AND-ing the k columns yields the mask of cores
+  // whose signature passes every probe.
+  std::uint64_t probe_columns(const std::vector<std::uint64_t>& cols,
+                              std::uint64_t m) const {
+    std::uint32_t b = static_cast<std::uint32_t>(m);
+    const std::uint32_t step = static_cast<std::uint32_t>(m >> 32) | 1u;
+    std::uint64_t hit = ~0ull;
+    for (std::uint32_t i = 0; i < col_k_; ++i, b += step) {
+      hit &= cols[b & (col_bits_ - 1)];
+      if (hit == 0) break;  // sparse columns: most probes die on load 1-2
+    }
+    return hit;
+  }
+
+  void set_column_bits(std::vector<std::uint64_t>& cols, CoreId core,
+                       std::uint64_t m) {
+    std::uint32_t b = static_cast<std::uint32_t>(m);
+    const std::uint32_t step = static_cast<std::uint32_t>(m >> 32) | 1u;
+    for (std::uint32_t i = 0; i < col_k_; ++i, b += step) {
+      cols[b & (col_bits_ - 1)] |= 1ull << core;
+    }
+  }
+
+  void clear_columns(CoreId core);
+
   std::vector<CoreId> waits_for_;  // kNoCore if not waiting
   std::uint64_t isolation_mask_ = 0;  // cores whose txn holds isolation
   sim::ConflictPolicy policy_;
+  std::uint32_t col_bits_;  // == Signature bits of every probed txn
+  std::uint32_t col_k_;     // == Signature hash count of every probed txn
+  std::vector<std::uint64_t> read_cols_;   // col_bits_ words, bit per core
+  std::vector<std::uint64_t> write_cols_;  // col_bits_ words, bit per core
+  /// Per-core journal of noted line mixes; clear_columns scrubs exactly
+  /// these positions (in both column arrays -- conservative but cheap)
+  /// instead of sweeping every word. A resync installs bits the journal
+  /// never saw, so it flags the core for one full-sweep clear instead.
+  std::vector<std::vector<std::uint64_t>> touched_;
+  std::vector<std::uint8_t> needs_full_clear_;
   const Signature* suspended_reads_ = nullptr;
   const Signature* suspended_writes_ = nullptr;
   ConflictStats stats_;

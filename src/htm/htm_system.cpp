@@ -10,7 +10,8 @@ namespace suvtm::htm {
 HtmSystem::HtmSystem(const sim::SimConfig& cfg, mem::MemorySystem& mem,
                      std::unique_ptr<VersionManager> vm)
     : params_(cfg.htm), mem_(mem), vm_(std::move(vm)),
-      conflicts_(cfg.mem.num_cores, cfg.htm.conflict_policy),
+      conflicts_(cfg.mem.num_cores, cfg.htm.conflict_policy,
+                 cfg.htm.signature_bits, cfg.htm.signature_hashes),
       suspended_reads_(cfg.htm.signature_bits, cfg.htm.signature_hashes),
       suspended_writes_(cfg.htm.signature_bits, cfg.htm.signature_hashes) {
   txns_.reserve(cfg.mem.num_cores);
@@ -59,6 +60,7 @@ bool HtmSystem::resume_txn(CoreId core) {
     if (it->core == core) {
       *txns_[core] = it->txn;  // saved state was kRunning: isolation resumes
       conflicts_.set_isolation(core, true);
+      conflicts_.resync(core, *txns_[core]);
       suspended_.erase(it);
       rebuild_suspended_summary();
       vm_->on_resume(core);

@@ -48,6 +48,9 @@ class Signature {
 
   bool empty() const { return adds_ == 0; }
   std::uint64_t adds() const { return adds_; }
+  /// Raw filter words (bits()/64 of them); used to rebuild the conflict
+  /// manager's bit-sliced columns after a wholesale signature restore.
+  const std::vector<std::uint64_t>& words() const { return words_; }
   std::uint32_t bits() const { return bits_; }
   std::uint32_t num_hashes() const { return k_; }
   /// Number of set bits (occupancy; used in tests and saturation stats).

@@ -8,18 +8,20 @@ BackingStore::Page& BackingStore::page_for_slow(Addr a) {
   const std::uint64_t id = page_of(a);
   auto [it, inserted] = pages_.try_emplace(id);
   if (inserted) it->second = std::make_unique<Page>();
-  cached_id_ = id;
-  cached_page_ = it->second.get();
-  return *cached_page_;
+  const std::size_t s = slot_of(id);
+  cached_ids_[s] = id;
+  cached_pages_[s] = it->second.get();
+  return *cached_pages_[s];
 }
 
 const BackingStore::Page* BackingStore::page_for_const_slow(Addr a) const {
   const std::uint64_t id = page_of(a);
   auto it = pages_.find(id);
   if (it == pages_.end()) return nullptr;
-  cached_id_ = id;
-  cached_page_ = it->second.get();
-  return cached_page_;
+  const std::size_t s = slot_of(id);
+  cached_ids_[s] = id;
+  cached_pages_[s] = it->second.get();
+  return cached_pages_[s];
 }
 
 void BackingStore::copy_line(LineAddr src_line, LineAddr dst_line) {

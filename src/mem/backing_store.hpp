@@ -5,11 +5,13 @@
 // be tested (and SUV's redirection machinery verified end-to-end, not just
 // timed). Storage is paged and allocated lazily; untouched memory reads 0.
 //
-// Pages are keyed in a flat open-addressing map, and the last page touched
-// is cached: consecutive words on one page (the overwhelmingly common
-// access pattern -- undo-log walks, line copies, sequential workload data)
-// skip the map entirely. Page payloads are heap-allocated, so the cached
-// pointer survives map growth.
+// Pages are keyed in a flat open-addressing map, fronted by a small
+// direct-mapped cache of recently touched pages: consecutive words on one
+// page (the overwhelmingly common access pattern -- undo-log walks, line
+// copies, sequential workload data) skip the map entirely, and the cache is
+// wide enough that many cores interleaving accesses to disjoint working
+// sets do not evict each other every round. Page payloads are
+// heap-allocated, so cached pointers survive map growth.
 #pragma once
 
 #include <array>
@@ -56,24 +58,34 @@ class BackingStore {
   static constexpr std::size_t kWordsPerPage = kPageBytes / kWordBytes;
   using Page = std::array<std::uint64_t, kWordsPerPage>;
 
+  static constexpr std::size_t kCacheSlots = 64;  // power of 2
+
+  // Contiguous page ids map to distinct slots; the XOR folds higher bits in
+  // so same-low-bits pages from different regions don't all collide.
+  static std::size_t slot_of(std::uint64_t id) {
+    return static_cast<std::size_t>(id ^ (id >> 6)) & (kCacheSlots - 1);
+  }
+
   Page& page_for(Addr a) {
     const std::uint64_t id = page_of(a);
-    if (cached_page_ && cached_id_ == id) return *cached_page_;
+    const std::size_t s = slot_of(id);
+    if (cached_pages_[s] && cached_ids_[s] == id) return *cached_pages_[s];
     return page_for_slow(a);
   }
   const Page* page_for_const(Addr a) const {
     const std::uint64_t id = page_of(a);
-    if (cached_page_ && cached_id_ == id) return cached_page_;
+    const std::size_t s = slot_of(id);
+    if (cached_pages_[s] && cached_ids_[s] == id) return cached_pages_[s];
     return page_for_const_slow(a);
   }
   Page& page_for_slow(Addr a);
   const Page* page_for_const_slow(Addr a) const;
 
   FlatMap<std::uint64_t, std::unique_ptr<Page>> pages_;
-  // Last-page cache; pages are never freed, so the pointer can only go
-  // stale by pointing at a page that is still valid.
-  mutable std::uint64_t cached_id_ = 0;
-  mutable Page* cached_page_ = nullptr;
+  // Direct-mapped page cache; pages are never freed, so entries can only
+  // go stale by pointing at pages that are still valid.
+  mutable std::array<std::uint64_t, kCacheSlots> cached_ids_{};
+  mutable std::array<Page*, kCacheSlots> cached_pages_{};
 };
 
 }  // namespace suvtm::mem

@@ -36,8 +36,21 @@ class Recorder {
   void set_sampler(Sampler s) { sampler_ = std::move(s); }
 
   // ---- sim/scheduler ------------------------------------------------------
-  void on_tick(Cycle t) {
+  /// One call per drained bucket: advances the cycle cache once for the
+  /// whole batch and pays the sampler countdown `n` events at a time.
+  void on_batch(Cycle t, std::uint64_t n) {
     now_ = t;
+    while (n >= sample_countdown_) {
+      n -= sample_countdown_;
+      sample_countdown_ = sample_interval_;
+      if (sampler_) sampler_(metrics_, now_);
+    }
+    sample_countdown_ -= static_cast<std::uint32_t>(n);
+  }
+
+  /// A fast-path event completed without a scheduler round trip; it still
+  /// advances the sampler deadline (the cycle cache is already current).
+  void on_inline_event() {
     if (--sample_countdown_ == 0) {
       sample_countdown_ = sample_interval_;
       if (sampler_) sampler_(metrics_, now_);

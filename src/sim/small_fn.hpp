@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -45,15 +46,15 @@ class SmallFn {
   }
 
   SmallFn(SmallFn&& o) noexcept : ops_(o.ops_) {
-    if (ops_) ops_->relocate(buf_, o.buf_);
+    if (ops_) relocate_from(o);
     o.ops_ = nullptr;
   }
 
   SmallFn& operator=(SmallFn&& o) noexcept {
     if (this != &o) {
-      if (ops_) ops_->destroy(buf_);
+      if (ops_ && !ops_->trivial) ops_->destroy(buf_);
       ops_ = o.ops_;
-      if (ops_) ops_->relocate(buf_, o.buf_);
+      if (ops_) relocate_from(o);
       o.ops_ = nullptr;
     }
     return *this;
@@ -63,7 +64,7 @@ class SmallFn {
   SmallFn& operator=(const SmallFn&) = delete;
 
   ~SmallFn() {
-    if (ops_) ops_->destroy(buf_);
+    if (ops_ && !ops_->trivial) ops_->destroy(buf_);
   }
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
@@ -76,7 +77,20 @@ class SmallFn {
     /// Move-construct into `dst` from `src`, then destroy `src`'s object.
     void (*relocate)(void* dst, void* src);
     void (*destroy)(void*);
+    /// Trivially relocatable + trivially destructible: moves are a plain
+    /// buffer copy and destruction is a no-op. The scheduler's hot lambdas
+    /// (pointer/handle/int captures) all qualify, so the slot-pool park and
+    /// dispatch moves skip the indirect relocate/destroy calls entirely.
+    bool trivial;
   };
+
+  void relocate_from(SmallFn& o) noexcept {
+    if (ops_->trivial) {
+      std::memcpy(buf_, o.buf_, kInlineBytes);
+    } else {
+      ops_->relocate(buf_, o.buf_);
+    }
+  }
 
   template <class D>
   static constexpr Ops inline_ops{
@@ -86,7 +100,8 @@ class SmallFn {
         ::new (dst) D(std::move(*s));
         s->~D();
       },
-      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); }};
+      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+      std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>};
 
   template <class D>
   static constexpr Ops heap_ops{
@@ -94,7 +109,8 @@ class SmallFn {
       [](void* dst, void* src) {
         ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
       },
-      [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); }};
+      [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
+      false};
 
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;

@@ -55,13 +55,13 @@ void ThreadContext::start_abort(bool* aborted, std::coroutine_handle<> h) {
   });
 }
 
-void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
+bool ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
   htm::Txn& t = txn();
   const bool tx = t.state == htm::TxnState::kRunning;
 
   if (tx && t.doomed) {
     start_abort(&aw.aborted, h);
-    return;
+    return true;
   }
 
   const LineAddr line = line_of(aw.addr);
@@ -78,15 +78,21 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
   if (dec.action == htm::ConflictManager::Action::kAbortSelf) {
     htm_.doom(core_, dec.victim_cause);
     start_abort(&aw.aborted, h);
-    return;
+    return true;
   }
   if (dec.action == htm::ConflictManager::Action::kStall) {
     const Cycle w = cfg_.htm.stall_retry_interval;
     if (tx) attempt_.add_stalled(w);
     else breakdown_.add(Bucket::kNoTrans, w);
     SUVTM_OBS_HOOK(obs_, on_stall(core_, sched_.now(), dec.holder, line, w));
-    sched_.after(w, [this, &aw, h] { issue_mem(aw, h); });
-    return;
+    // A stall is a synchronization point: flush any fast-path run-ahead
+    // into the retry delay. The coroutine is already suspended when the
+    // retry fires, so a fast-path completion there resumes it directly.
+    sched_.after(skew_ + w, [this, &aw, h] {
+      if (!issue_mem(aw, h)) h.resume();
+    });
+    skew_ = 0;
+    return true;
   }
 
   // Access granted: version-management bookkeeping, then the timed access.
@@ -108,36 +114,41 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
       // writeback, SUV's entry allocation).
       const htm::StoreAction act = vm.on_tx_store(t, aw.addr);
       t.write_sig.add(line);
-      t.write_lines.insert(line);
+      if (t.write_lines.insert(line)) htm_.conflicts().note_write(core_, line);
       target = act.target;
       extra = act.extra;
       extra_if_l1_hit = act.extra_if_l1_hit;
       buffered_store = act.buffered;
     } else {
       t.read_sig.add(line);
-      t.read_lines.insert(line);
+      if (t.read_lines.insert(line)) htm_.conflicts().note_read(core_, line);
       if (aw.rmw) {
         // Claim exclusive ownership now; the upcoming store to this line
         // will not need a second coherence round or an upgrade.
         t.write_sig.add(line);
-        t.write_lines.insert(line);
+        if (t.write_lines.insert(line))
+          htm_.conflicts().note_write(core_, line);
       }
-      const htm::LoadAction act = vm.resolve_load(core_, &t, aw.addr);
-      if (act.buffered) {
-        // Served from the lazy redo buffer: an L1-speed private access.
-        aw.value = *act.buffered;
-        SUVTM_CHECK_HOOK(checker_,
-                         on_read(core_, true, word, aw.value, sched_.now()));
-        const Cycle lat = cfg_.mem.l1_latency + act.extra;
-        attempt_.add_trans(lat);
-        sched_.resume_after(lat, h);
-        return;
+      // In-place schemes resolve every load to the identity action; skip
+      // the virtual dispatch on this per-access path.
+      if (!vm.loads_in_place()) {
+        const htm::LoadAction act = vm.resolve_load(core_, &t, aw.addr);
+        if (act.buffered) {
+          // Served from the lazy redo buffer: an L1-speed private access.
+          aw.value = *act.buffered;
+          SUVTM_CHECK_HOOK(checker_,
+                           on_read(core_, true, word, aw.value, sched_.now()));
+          const Cycle lat = cfg_.mem.l1_latency + act.extra;
+          attempt_.add_trans(lat);
+          sched_.resume_after(lat, h);
+          return true;
+        }
+        target = act.target;
+        extra = act.extra;
+        extra_if_l1_hit = act.extra_if_l1_hit;
       }
-      target = act.target;
-      extra = act.extra;
-      extra_if_l1_hit = act.extra_if_l1_hit;
     }
-  } else {
+  } else if (!vm.loads_in_place()) {
     const htm::LoadAction act = aw.is_store
                                     ? vm.resolve_nontx_store(core_, aw.addr)
                                     : vm.resolve_load(core_, nullptr, aw.addr);
@@ -153,7 +164,7 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
     const Cycle lat = cfg_.mem.l1_latency + extra;
     attempt_.add_trans(lat);
     sched_.resume_after(lat, h);
-    return;
+    return true;
   }
 
   const mem::AccessOutcome out =
@@ -178,9 +189,29 @@ void ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
   // Table-probe cycles ride the coherence request on a data-cache miss
   // (SUV piggybacks redirection resolution); they only cost time on a hit.
   const Cycle lat = out.latency + extra + (out.l1_hit ? extra_if_l1_hit : 0);
-  if (tx) attempt_.add_trans(lat);
-  else breakdown_.add(Bucket::kNoTrans, lat);
-  sched_.resume_after(lat, h);
+  if (tx) {
+    attempt_.add_trans(lat);
+    sched_.resume_after(lat, h);
+    return true;
+  }
+  breakdown_.add(Bucket::kNoTrans, lat);
+
+  // Non-transactional fast path: a straight-line L1 hit holds no one up --
+  // no coherence traffic, no conflict, no eviction -- so completing it
+  // inline (await_suspend returns false) skips the scheduler round trip
+  // entirely. The core runs up to fastpath_quantum cycles ahead (skew_);
+  // every other path through this file flushes the skew back into its next
+  // scheduled delay, so dispatch stays deterministic.
+  const Cycle quantum = cfg_.fastpath_quantum;
+  if (quantum != 0 && out.l1_hit && !out.evicted_speculative &&
+      skew_ + lat <= quantum) {
+    skew_ += lat;
+    sched_.count_inline_event();
+    return false;
+  }
+  sched_.resume_after(skew_ + lat, h);
+  skew_ = 0;
+  return true;
 }
 
 void ThreadContext::issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h) {
@@ -211,7 +242,10 @@ void ThreadContext::issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h) {
   SUVTM_OBS_HOOK(obs_, on_txn_begin(core_, sched_.now(), t.site, t.attempts));
   const Cycle cost = cfg_.htm.checkpoint_latency + htm_.vm().on_begin(t);
   attempt_.add_trans(cost);
-  sched_.resume_after(cost, h);
+  // Transaction boundaries synchronize the fast path: fold any run-ahead
+  // into the begin latency so the body starts at the logically right cycle.
+  sched_.resume_after(skew_ + cost, h);
+  skew_ = 0;
 }
 
 void ThreadContext::issue_commit(CommitAwaiter& aw, std::coroutine_handle<> h) {
@@ -292,11 +326,25 @@ void ThreadContext::issue_rollback_inner(RollbackInnerAwaiter& aw,
   sched_.resume_after(cost, h);
 }
 
-void ThreadContext::issue_compute(ComputeAwaiter& aw,
+bool ThreadContext::issue_compute(ComputeAwaiter& aw,
                                   std::coroutine_handle<> h) {
-  if (in_tx()) attempt_.add_trans(aw.cycles);
-  else breakdown_.add(Bucket::kNoTrans, aw.cycles);
-  sched_.resume_after(aw.cycles, h);
+  if (in_tx()) {
+    attempt_.add_trans(aw.cycles);
+    sched_.resume_after(aw.cycles, h);
+    return true;
+  }
+  breakdown_.add(Bucket::kNoTrans, aw.cycles);
+  // Short non-transactional compute joins the fast path: it touches no
+  // shared state at all, so there is nothing to synchronize with.
+  const Cycle quantum = cfg_.fastpath_quantum;
+  if (quantum != 0 && skew_ + aw.cycles <= quantum) {
+    skew_ += aw.cycles;
+    sched_.count_inline_event();
+    return false;
+  }
+  sched_.resume_after(skew_ + aw.cycles, h);
+  skew_ = 0;
+  return true;
 }
 
 void ThreadContext::issue_backoff(BackoffAwaiter&, std::coroutine_handle<> h) {
@@ -308,7 +356,8 @@ void ThreadContext::issue_backoff(BackoffAwaiter&, std::coroutine_handle<> h) {
   const Cycle wait = rng_.range(p.backoff_base, std::max<Cycle>(p.backoff_base, ceiling));
   breakdown_.add(Bucket::kBackoff, wait);
   SUVTM_OBS_HOOK(obs_, on_backoff(core_, sched_.now(), wait));
-  sched_.resume_after(wait, h);
+  sched_.resume_after(skew_ + wait, h);
+  skew_ = 0;
 }
 
 }  // namespace suvtm::sim

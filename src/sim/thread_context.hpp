@@ -50,7 +50,11 @@ class ThreadContext {
     bool aborted = false;
 
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { tc.issue_mem(*this, h); }
+    /// Returns false (continue without suspending) when the access completed
+    /// on the non-transactional fast path -- see issue_mem.
+    bool await_suspend(std::coroutine_handle<> h) {
+      return tc.issue_mem(*this, h);
+    }
     std::uint64_t await_resume() const {
       if (aborted) throw TxAbort{};
       return value;
@@ -79,7 +83,9 @@ class ThreadContext {
     ThreadContext& tc;
     Cycle cycles;
     bool await_ready() const noexcept { return cycles == 0; }
-    void await_suspend(std::coroutine_handle<> h) { tc.issue_compute(*this, h); }
+    bool await_suspend(std::coroutine_handle<> h) {
+      return tc.issue_compute(*this, h);
+    }
     void await_resume() const noexcept {}
   };
 
@@ -137,8 +143,16 @@ class ThreadContext {
   /// (DynTM lazy mode) or the transaction is already doomed -- the full
   /// retry loop handles those. Must be called at depth > 1.
   RollbackInnerAwaiter tx_rollback_inner() { return {*this}; }
-  /// Wait at `b`; time is charged to the Barrier bucket.
-  BarrierAwaiter barrier(Barrier& b) { return {*this, b.arrive()}; }
+  /// Wait at `b`; time is charged to the Barrier bucket. Any fast-path
+  /// run-ahead is folded into the recorded arrival time: the core arrives
+  /// in scheduler order, but its wait is measured from the cycle it
+  /// logically reached the barrier (now + skew).
+  BarrierAwaiter barrier(Barrier& b) {
+    Barrier::Waiter w = b.arrive();
+    w.arrived_at += skew_;
+    skew_ = 0;
+    return {*this, w};
+  }
 
   CoreId core() const { return core_; }
   bool in_tx() const;
@@ -155,10 +169,14 @@ class ThreadContext {
 
   htm::Txn& txn();
 
-  void issue_mem(MemAwaiter& aw, std::coroutine_handle<> h);
+  /// issue_mem/issue_compute return true when the coroutine suspended on
+  /// the scheduler, false when the operation completed synchronously on the
+  /// non-transactional fast path (the caller continues without a queue
+  /// round trip, `skew_` cycles ahead of the scheduler clock).
+  bool issue_mem(MemAwaiter& aw, std::coroutine_handle<> h);
   void issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h);
   void issue_commit(CommitAwaiter& aw, std::coroutine_handle<> h);
-  void issue_compute(ComputeAwaiter& aw, std::coroutine_handle<> h);
+  bool issue_compute(ComputeAwaiter& aw, std::coroutine_handle<> h);
   void issue_backoff(BackoffAwaiter& aw, std::coroutine_handle<> h);
   void issue_rollback_inner(RollbackInnerAwaiter& aw,
                             std::coroutine_handle<> h);
@@ -177,6 +195,11 @@ class ThreadContext {
   Rng rng_;
   check::Checker* checker_;  // nullptr unless correctness checking is on
   obs::Recorder* obs_;       // nullptr unless tracing/metrics is on
+  /// Fast-path run-ahead: cycles this core has consumed beyond the
+  /// scheduler clock without a queue round trip. Bounded by
+  /// cfg.fastpath_quantum; folded into the next scheduled delay at every
+  /// synchronization point (miss, stall, txn boundary, backoff, barrier).
+  Cycle skew_ = 0;
 };
 
 }  // namespace suvtm::sim

@@ -30,7 +30,9 @@ struct FasTmStats {
 class FasTm final : public htm::VersionManager {
  public:
   FasTm(const sim::HtmParams& p, mem::MemorySystem& mem)
-      : params_(p), mem_(mem) {}
+      : params_(p), mem_(mem) {
+    loads_in_place_ = true;  // resolve_load below is the identity action
+  }
 
   const char* name() const override { return "FasTM"; }
 

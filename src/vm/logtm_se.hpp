@@ -18,7 +18,9 @@ namespace suvtm::vm {
 class LogTmSe final : public htm::VersionManager {
  public:
   LogTmSe(const sim::HtmParams& p, mem::MemorySystem& mem)
-      : params_(p), mem_(mem) {}
+      : params_(p), mem_(mem) {
+    loads_in_place_ = true;  // resolve_load below is the identity action
+  }
 
   const char* name() const override { return "LogTM-SE"; }
 

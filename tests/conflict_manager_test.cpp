@@ -12,7 +12,9 @@ class ConflictManagerTest : public ::testing::Test {
  protected:
   static constexpr std::uint32_t kCores = 4;
 
-  ConflictManagerTest() : cm_(kCores) {
+  ConflictManagerTest()
+      : cm_(kCores, sim::ConflictPolicy::kRequesterStalls,
+            /*sig_bits=*/2048, /*sig_hashes=*/2) {
     for (CoreId c = 0; c < kCores; ++c) {
       txns_.push_back(std::make_unique<Txn>(c, 2048, 2));
       view_.push_back(txns_.back().get());
@@ -29,10 +31,12 @@ class ConflictManagerTest : public ::testing::Test {
     t.lazy = lazy;
     for (LineAddr l : reads) {
       t.read_sig.add(l);
+      cm_.note_read(c, l);
       t.read_lines.insert(l);
     }
     for (LineAddr l : writes) {
       t.write_sig.add(l);
+      cm_.note_write(c, l);
       t.write_lines.insert(l);
     }
   }

@@ -154,6 +154,7 @@ TEST_F(RequesterWinsTest, OlderRequesterDoomsHolder) {
   htm_->conflicts().set_isolation(1, true);
   holder.timestamp = 200;  // younger
   holder.write_sig.add(100);
+  htm_->conflicts().note_write(1, 100);
   holder.write_lines.insert(100);
   Txn& req = htm_->txn(0);
   req.state = TxnState::kRunning;
@@ -173,6 +174,7 @@ TEST_F(RequesterWinsTest, YoungerRequesterFallsBackToStall) {
   htm_->conflicts().set_isolation(1, true);
   holder.timestamp = 100;  // older
   holder.write_sig.add(100);
+  htm_->conflicts().note_write(1, 100);
   holder.write_lines.insert(100);
   Txn& req = htm_->txn(0);
   req.state = TxnState::kRunning;
@@ -189,6 +191,7 @@ TEST_F(RequesterWinsTest, CommittingHolderIsSpared) {
   htm_->conflicts().set_isolation(1, true);
   holder.timestamp = 500;
   holder.write_sig.add(100);
+  htm_->conflicts().note_write(1, 100);
   holder.write_lines.insert(100);
   Txn& req = htm_->txn(0);
   req.state = TxnState::kRunning;

@@ -15,6 +15,13 @@ memory access runs through) and rejects:
   alloc-in-loop   operator new / make_unique / make_shared / malloc / calloc
                   inside a loop body -- per-iteration allocation on a path
                   that may run per simulated event.
+  growth-in-loop  container growth (push_back/emplace_back/resize/reserve)
+                  inside a loop body of the scheduler itself
+                  (src/sim/scheduler.{hpp,cpp}): the event loop runs per
+                  simulated event, so every growth call there must be
+                  amortized and explicitly annotated. Scoped to the
+                  scheduler because that is the one file where a stray
+                  reallocation hits every event in the simulation.
 
 Suppression: append `// lint: allow(<rule>)` to the offending line or the
 line directly above it. Placement new (`new (buf) T`) is not an allocation
@@ -41,6 +48,10 @@ ALLOCATION = re.compile(
     r"(\bnew\s+[A-Za-z_:<(]|std::make_unique\s*<|std::make_shared\s*<|"
     r"\bmalloc\s*\(|\bcalloc\s*\()"
 )
+GROWTH = re.compile(r"\.\s*(push_back|emplace_back|resize|reserve)\s*\(")
+# Files where growth-in-loop applies: the scheduler's event loop runs per
+# simulated event, so unamortized container growth there taxes everything.
+GROWTH_SCOPED_FILES = {"src/sim/scheduler.hpp", "src/sim/scheduler.cpp"}
 LOOP_HEAD = re.compile(r"\b(for|while)\s*\(")
 ALLOW = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
 
@@ -108,7 +119,7 @@ def allowed_rules(raw_lines, idx):
     return rules
 
 
-def lint_file(path: Path):
+def lint_file(path: Path, check_growth: bool = False):
     raw = path.read_text()
     raw_lines = raw.splitlines()
     lines = strip_comments_and_strings(raw).splitlines()
@@ -138,6 +149,10 @@ def lint_file(path: Path):
         if in_loop and ALLOCATION.search(line):
             report(idx, "alloc-in-loop",
                    "allocation inside a loop on a hot path")
+        if in_loop and check_growth and GROWTH.search(line):
+            report(idx, "growth-in-loop",
+                   "container growth inside a scheduler loop (must be "
+                   "amortized and annotated: // lint: allow(growth-in-loop))")
         if LOOP_HEAD.search(line):
             pending_loop = True
         for ch in line:
@@ -164,7 +179,9 @@ def main():
     for d in HOT_DIRS:
         for path in sorted((root / d).rglob("*")):
             if path.suffix in EXTENSIONS:
-                violations.extend(lint_file(path))
+                rel = path.relative_to(root).as_posix()
+                violations.extend(
+                    lint_file(path, check_growth=rel in GROWTH_SCOPED_FILES))
     if violations:
         for path, lineno, rule, msg in violations:
             print(f"{path.relative_to(root)}:{lineno}: [{rule}] {msg}")
