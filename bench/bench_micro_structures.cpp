@@ -16,6 +16,9 @@
 //     redo-log-shaped churn;
 //   - an end-to-end events/sec number: the bench_scaling part-1 matrix
 //     (scheme x app, 16 simulated cores, scale 0.5) run serially in-process;
+//   - the intra-run PDES head-to-head: one 64-core 4-shard machine driven
+//     by 1 vs 4 host threads (events/sec both ways, speedup, and a
+//     bit-identity verdict -- see DESIGN.md section 14);
 //   - overhead guards for the correctness checker (src/check) and the
 //     observability layer (src/obs): the same matrix with the hooks off
 //     and on, as events/sec ratios.
@@ -25,9 +28,10 @@
 //   X is the events_per_sec_jobs1 reported by a main-built bench_scaling on
 //   this host (BENCH_scaling.json); when given, the report also records the
 //   end-to-end speedup of this build over that baseline.
-//   --smoke runs only the scheduler head-to-head (seconds, not minutes) and
-//   still writes the JSON report -- the CI perf-smoke job gates on its
-//   calendar_vs_heap_speedup row.
+//   --smoke runs only the scheduler head-to-head and a small PDES
+//   bit-identity run (seconds, not minutes) and still writes the JSON
+//   report -- the CI perf-smoke job gates on its calendar_vs_heap_speedup
+//   row and pdes-smoke on its pdes_bit_identical row.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -37,11 +41,13 @@
 #include <cstring>
 #include <functional>
 #include <queue>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "check/check.hpp"
 #include "common/flat_hash.hpp"
+#include "stamp/sharded_kv.hpp"
 #include "common/rng.hpp"
 #include "htm/signature.hpp"
 #include "mem/cache.hpp"
@@ -678,6 +684,69 @@ void end_to_end_report(runner::BenchReport& report, double baseline_eps) {
   }
 }
 
+/// Intra-run shard parallelism (conservative PDES): one 64-simulated-core
+/// sharded machine (8x8 mesh, 4 shards, SUV) running the sharded_kv kernel
+/// with 1 vs 4 host threads. Reports simulated events/sec for both, the
+/// speedup, and whether the two runs' full RunResults were bit-identical
+/// (they must be -- host threads are a pure execution knob). The report
+/// also records the measuring host's CPU count: on a host with fewer than
+/// 4 CPUs the speedup row measures scheduling overhead, not parallelism,
+/// so consumers (the CI pdes-smoke gate, the README table) must treat it
+/// as meaningful only when pdes_host_cpus >= 4. The CI job gates on
+/// pdes_bit_identical from a fresh --smoke run unconditionally.
+void pdes_report(runner::BenchReport& report, bool smoke) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kSuv;
+  cfg.mem.num_cores = 64;
+  cfg.mem.mesh_dim = 8;
+  cfg.pdes.shards = 4;
+
+  stamp::ShardedKvParams p;
+  p.ops_per_thread = smoke ? 200 : 4000;
+  p.txn_keys = 128;
+  p.keys_per_txn = 4;
+  p.remote_read_every = 8;
+
+  const auto run_once = [&](std::uint32_t host_threads, double* secs) {
+    cfg.pdes.host_threads = host_threads;
+    sim::Simulator sim(cfg);
+    stamp::ShardedKv wl(p);
+    wl.build(sim);
+    runner::WallTimer t;
+    sim.run();
+    *secs = t.seconds();
+    wl.verify(sim);
+    return runner::harvest_result(sim, "sharded_kv");
+  };
+
+  double warm = 0.0;
+  run_once(4, &warm);  // warm allocators/caches (and thread start-up)
+  double s1 = 0.0, s4 = 0.0;
+  const runner::RunResult r1 = run_once(1, &s1);
+  const runner::RunResult r4 = run_once(4, &s4);
+  const bool identical = r1 == r4;
+  const double eps1 = s1 > 0 ? static_cast<double>(r1.sim_events) / s1 : 0.0;
+  const double eps4 = s4 > 0 ? static_cast<double>(r4.sim_events) / s4 : 0.0;
+  const double speedup = eps1 > 0 ? eps4 / eps1 : 0.0;
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("\nintra-run PDES (sharded_kv, 64 cores, 4 shards, SUV):\n"
+              "  1 host thread : %12.0f events/s\n"
+              "  4 host threads: %12.0f events/s   (%.2fx)\n"
+              "  bit-identical : %s\n",
+              eps1, eps4, speedup, identical ? "yes" : "NO");
+  if (host_cpus < 4) {
+    std::printf("  note: only %u host CPU(s) -- the speedup row measures "
+                "overhead, not parallelism, on this host\n", host_cpus);
+  }
+  report.set("pdes_host_cpus", static_cast<std::uint64_t>(host_cpus));
+  report.set("pdes_sim_events", r1.sim_events);
+  report.set("end_to_end_events_per_sec_pdes1", eps1);
+  report.set("end_to_end_events_per_sec_pdes4", eps4);
+  report.set("pdes_speedup_4threads", speedup);
+  report.set("pdes_bit_identical",
+             static_cast<std::uint64_t>(identical ? 1 : 0));
+}
+
 /// Runtime cost of the correctness checker (src/check): the same small
 /// scheme x app matrix run with cfg.check.enabled off and on. The "off"
 /// number is what a checker-capable build pays on the default path (hooks
@@ -799,10 +868,12 @@ int main(int argc, char** argv) {
   // --jobs and --smoke have an effect here.
   const runner::Cli cli = runner::Cli::parse(argc, argv);
   if (cli.smoke) {
-    // CI perf-smoke mode: just the scheduler head-to-head (the row the CI
-    // gate asserts on), no google-benchmark suite, no end-to-end runs.
+    // CI perf-smoke mode: the scheduler head-to-head plus the PDES
+    // bit-identity check (the rows the CI gates assert on), no
+    // google-benchmark suite, no end-to-end runs.
     runner::BenchReport report("micro_structures");
     scheduler_report(report, /*smoke=*/true);
+    pdes_report(report, /*smoke=*/true);
     report.write();
     return 0;
   }
@@ -814,6 +885,7 @@ int main(int argc, char** argv) {
   scheduler_report(report, /*smoke=*/false);
   container_report(report);
   end_to_end_report(report, baseline_eps);
+  pdes_report(report, /*smoke=*/false);
   checker_overhead_report(report);
   obs_overhead_report(report);
   report.write();

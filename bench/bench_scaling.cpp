@@ -30,6 +30,7 @@
 #include "obs/chrome_trace.hpp"
 #include "runner/cli.hpp"
 #include "runner/tables.hpp"
+#include "stamp/sharded_kv.hpp"
 
 using namespace suvtm;
 
@@ -93,6 +94,39 @@ int check_seed_shape(const std::vector<runner::RunPoint>& points,
     if (r.has_dyntm) fail(i, "has_dyntm set for a non-DynTM sweep");
   }
   return bad;
+}
+
+/// Part 1b: intra-run determinism. Where part 1 checks that *across-run*
+/// host parallelism (the sweep pool) never changes results, this checks
+/// the *within-run* kind: one sharded machine (4 shards, 16 cores, SUV)
+/// driven by 1 vs 4 host threads must produce a bit-identical RunResult,
+/// trace, and metrics snapshot.
+bool pdes_identity_check(runner::BenchReport& report, bool check) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kSuv;
+  cfg.mem.num_cores = 16;
+  cfg.pdes.shards = 4;
+  cfg.check.enabled = check;
+  cfg.obs.trace = true;
+  cfg.obs.metrics = true;
+
+  runner::RunResult results[2];
+  obs::TraceData traces[2];
+  const std::uint32_t threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    cfg.pdes.host_threads = threads[i];
+    sim::Simulator sim(cfg);
+    stamp::ShardedKv wl;
+    wl.build(sim);
+    sim.run();
+    wl.verify(sim);
+    results[i] = runner::harvest_result(sim, "sharded_kv", &traces[i]);
+  }
+  const bool ok = results[0] == results[1] && traces[0] == traces[1];
+  std::printf("Part 1b: sharded machine (4 shards), sim_threads=1 vs 4: %s\n\n",
+              ok ? "bit-identical" : "NO -- DETERMINISM VIOLATION");
+  report.set("pdes_bit_identical", static_cast<std::uint64_t>(ok ? 1 : 0));
+  return ok;
 }
 
 }  // namespace
@@ -171,6 +205,9 @@ int main(int argc, char** argv) {
   report.set("events_per_sec_jobsN",
              pool_s > 0 ? static_cast<double>(events) / pool_s : 0.0);
   report.set("bit_identical", static_cast<std::uint64_t>(identical ? 1 : 0));
+
+  const bool pdes_ok = pdes_identity_check(report, check);
+  identical = identical && pdes_ok;
 
   if (smoke) {
     const int shape_violations = check_seed_shape(points, pool_results);

@@ -6,8 +6,8 @@
 
 namespace suvtm::api {
 
-const htm::HtmStats& RunHandle::htm_stats() const {
-  return sim_->htm().stats();
+htm::HtmStats RunHandle::htm_stats() const {
+  return sim_->total_htm_stats();
 }
 
 runner::RunResult RunHandle::result(const std::string& name) {
@@ -15,16 +15,21 @@ runner::RunResult RunHandle::result(const std::string& name) {
 }
 
 obs::MetricsSnapshot RunHandle::metrics() const {
-  if (const obs::Recorder* rec = sim_->recorder()) {
-    return obs::snapshot(rec->metrics());
-  }
-  return {};
+  return sim_->harvest_metrics();
 }
 
 const obs::TraceData& RunHandle::trace() const {
   static const obs::TraceData kEmpty;
   const obs::Recorder* rec = sim_->recorder();
-  return rec != nullptr && rec->tracing() ? rec->trace() : kEmpty;
+  if (rec == nullptr || !rec->tracing()) return kEmpty;
+  if (sim_->num_domains() == 1) return rec->trace();
+  // Sharded machine: merge the per-domain logs once, in the same canonical
+  // (timestamp, core) order the experiment harness uses.
+  if (!merged_trace_) {
+    merged_trace_ =
+        std::make_unique<obs::TraceData>(sim_->take_trace());
+  }
+  return *merged_trace_;
 }
 
 bool RunHandle::write_trace(const std::string& path,

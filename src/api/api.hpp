@@ -40,6 +40,11 @@ class RunHandle {
   sim::Barrier& make_barrier(std::uint32_t parties) {
     return sim_->make_barrier(parties);
   }
+  /// Barrier homed on `home`'s shard (required on sharded machines, where
+  /// cores rendezvous shard-locally; see SimBuilder::shards).
+  sim::Barrier& make_barrier(std::uint32_t parties, CoreId home) {
+    return sim_->make_barrier(parties, home);
+  }
   void spawn(CoreId c, sim::ThreadTask task) {
     sim_->spawn(c, std::move(task));
   }
@@ -51,19 +56,23 @@ class RunHandle {
   /// the read to use for post-run verification.
   std::uint64_t word(Addr a) { return sim_->read_word_resolved(a); }
   /// Raw backing-store read (no redirection) -- for seeding comparisons.
-  std::uint64_t raw_word(Addr a) { return sim_->mem().load_word(a); }
-  /// Host-side initialisation store into the backing memory.
-  void poke_word(Addr a, std::uint64_t v) { sim_->mem().store_word(a, v); }
+  std::uint64_t raw_word(Addr a) { return sim_->raw_word(a); }
+  /// Host-side initialisation store into the backing memory (routed to the
+  /// owning shard's domain on a sharded machine).
+  void poke_word(Addr a, std::uint64_t v) { sim_->poke_word(a, v); }
 
   // ---- after-run queries --------------------------------------------------
   Cycle makespan() const { return sim_->makespan(); }
-  const htm::HtmStats& htm_stats() const;
+  /// HTM stats, summed across the machine's domains.
+  htm::HtmStats htm_stats() const;
   /// Full stats harvest -- the same RunResult the experiment harness
   /// produces (metrics included when the build enabled them).
   runner::RunResult result(const std::string& name = "custom");
   /// The hook-fed metrics snapshot; empty unless built with metrics(true).
   obs::MetricsSnapshot metrics() const;
-  /// The recorded trace; empty unless built with trace(true).
+  /// The recorded trace; empty unless built with trace(true). On a sharded
+  /// machine the per-domain logs are merged (and harvested from the
+  /// recorders) on first call.
   const obs::TraceData& trace() const;
   /// Export the recorded trace as Chrome/Perfetto JSON. Returns false when
   /// nothing was traced or the file could not be written.
@@ -72,6 +81,9 @@ class RunHandle {
 
  private:
   std::unique_ptr<sim::Simulator> sim_;
+  /// Lazily merged trace for sharded machines (trace() returns a
+  /// reference, so the merge has to live somewhere).
+  mutable std::unique_ptr<obs::TraceData> merged_trace_;
 };
 
 /// Fluent configuration. Each setter returns *this; build() can be called
@@ -87,6 +99,19 @@ class SimBuilder {
   SimBuilder& scheme(std::string_view name);
   SimBuilder& cores(std::uint32_t n) {
     cfg_.mem.num_cores = n;
+    return *this;
+  }
+  /// Declare a sharded machine (sim/config.hpp PdesParams): `n` must divide
+  /// the core count; workloads must keep transactions and stores
+  /// shard-local. 1 (default) is the classic monolithic machine.
+  SimBuilder& shards(std::uint32_t n) {
+    cfg_.pdes.shards = n;
+    return *this;
+  }
+  /// Host threads driving a sharded machine's domain schedulers. Pure
+  /// execution knob: results are bit-identical at any value.
+  SimBuilder& sim_threads(std::uint32_t n) {
+    cfg_.pdes.host_threads = n;
     return *this;
   }
   SimBuilder& seed(std::uint64_t s) {

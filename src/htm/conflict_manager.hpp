@@ -33,6 +33,15 @@ struct ConflictStats {
   bool operator==(const ConflictStats&) const = default;
 };
 
+/// Sum `b` into `a` (harvesting a sharded machine's per-domain managers).
+inline void accumulate(ConflictStats& a, const ConflictStats& b) {
+  a.conflicts += b.conflicts;
+  a.false_conflicts += b.false_conflicts;
+  a.deadlock_aborts += b.deadlock_aborts;
+  a.requester_wins += b.requester_wins;
+  a.suspended_stalls += b.suspended_stalls;
+}
+
 class ConflictManager {
  public:
   /// `sig_bits`/`sig_hashes` must match the per-transaction signature

@@ -35,6 +35,15 @@ struct HtmStats {
   }
 };
 
+/// Sum `b` into `a` (harvesting a sharded machine's per-domain HTM systems).
+inline void accumulate(HtmStats& a, const HtmStats& b) {
+  a.begins += b.begins;
+  a.commits += b.commits;
+  a.aborts += b.aborts;
+  a.nested_begins += b.nested_begins;
+  a.overflowed_attempts += b.overflowed_attempts;
+}
+
 class HtmSystem {
  public:
   HtmSystem(const sim::SimConfig& cfg, mem::MemorySystem& mem,

@@ -53,6 +53,16 @@ struct VmStats {
   bool operator==(const VmStats&) const = default;
 };
 
+/// Sum `b` into `a` (harvesting a sharded machine's per-domain schemes).
+inline void accumulate(VmStats& a, const VmStats& b) {
+  a.tx_stores += b.tx_stores;
+  a.tx_loads += b.tx_loads;
+  a.log_entries += b.log_entries;
+  a.spec_overflows += b.spec_overflows;
+  a.degenerations += b.degenerations;
+  a.data_overflows += b.data_overflows;
+}
+
 class VersionManager {
  public:
   virtual ~VersionManager() = default;

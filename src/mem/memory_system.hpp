@@ -48,6 +48,19 @@ struct MemStats {
   bool operator==(const MemStats&) const = default;
 };
 
+/// Sum `b` into `a` (harvesting a sharded machine's per-domain hierarchies).
+inline void accumulate(MemStats& a, const MemStats& b) {
+  a.l1_hits += b.l1_hits;
+  a.l1_misses += b.l1_misses;
+  a.l2_hits += b.l2_hits;
+  a.l2_misses += b.l2_misses;
+  a.writebacks += b.writebacks;
+  a.invalidations += b.invalidations;
+  a.forwards += b.forwards;
+  a.l2_recalls += b.l2_recalls;
+  a.spec_evictions += b.spec_evictions;
+}
+
 class MemorySystem {
  public:
   explicit MemorySystem(const sim::MemParams& p);

@@ -1,5 +1,6 @@
 #include "runner/cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
@@ -31,7 +32,36 @@ void fold_metrics(const std::vector<RunResult>& results, BenchReport& report) {
 
 Cli Cli::parse(int& argc, char** argv) {
   Cli cli;
+
+  // --sim-threads strips before --jobs: when given without an explicit
+  // --jobs, the default sweep job count is divided by it so shard threads
+  // and sweep workers share the host instead of multiplying.
+  if (const char* e = std::getenv("SUVTM_SIM_THREADS")) {
+    const long v = std::strtol(e, nullptr, 10);
+    if (v > 0) cli.sim_threads = static_cast<unsigned>(v);
+  }
+  bool jobs_given = false;
+  int w0 = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--sim-threads" && i + 1 < argc) {
+      cli.sim_threads = static_cast<unsigned>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else if (a.rfind("--sim-threads=", 0) == 0) {
+      cli.sim_threads = static_cast<unsigned>(
+          std::strtoul(argv[i] + 14, nullptr, 10));
+    } else {
+      if (a == "--jobs" || a.rfind("--jobs=", 0) == 0) jobs_given = true;
+      argv[w0++] = argv[i];
+    }
+  }
+  argc = w0;
+  argv[argc] = nullptr;
+
   cli.jobs = ParallelExecutor::parse_jobs(argc, argv);
+  if (!jobs_given && cli.sim_threads > 1) {
+    cli.jobs = std::max(1u, cli.jobs / cli.sim_threads);
+  }
   set_default_jobs(cli.jobs);
 
   int w = 1;
@@ -79,6 +109,7 @@ void Cli::apply(sim::SimConfig& cfg) const {
   if (check) cfg.check.enabled = true;
   if (metrics) cfg.obs.metrics = true;
   if (tracing()) cfg.obs.trace = true;
+  if (sim_threads != 0) cfg.pdes.host_threads = sim_threads;
 }
 
 std::vector<RunResult> run_matrix_cli(std::vector<RunPoint> points,

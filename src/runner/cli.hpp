@@ -18,6 +18,13 @@ namespace suvtm::runner {
 
 struct Cli {
   unsigned jobs = 0;       ///< resolved --jobs value (also set as default)
+  /// --sim-threads N / SUVTM_SIM_THREADS: host threads driving one sharded
+  /// simulation's domain schedulers (0 = not requested; leaves configs
+  /// untouched). Purely an execution knob -- results are bit-identical at
+  /// any value. When set > 1 and --jobs was not given explicitly, the
+  /// default sweep-level job count is divided by it so the two layers of
+  /// host parallelism share the machine instead of multiplying.
+  unsigned sim_threads = 0;
   bool smoke = false;      ///< --smoke: tiny inputs for CI
   bool check = false;      ///< --check: enable the correctness checker
   bool metrics = false;    ///< --metrics: harvest the metrics registry
@@ -40,7 +47,8 @@ struct Cli {
 
   /// Fold the shared switches into a run config (never clears flags a
   /// caller already set): --check -> cfg.check.enabled, --metrics ->
-  /// cfg.obs.metrics, --trace -> cfg.obs.trace.
+  /// cfg.obs.metrics, --trace -> cfg.obs.trace, --sim-threads ->
+  /// cfg.pdes.host_threads (only when given).
   void apply(sim::SimConfig& cfg) const;
 };
 

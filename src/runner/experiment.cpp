@@ -49,37 +49,43 @@ RunResult harvest_result(sim::Simulator& sim, std::string app_name,
   r.app = std::move(app_name);
   r.scheme = cfg.scheme;
   r.makespan = sim.makespan();
-  r.sim_events = sim.scheduler().events_processed();
+  r.sim_events = sim.events_processed();
   r.breakdown = sim.total_breakdown();
-  r.htm = sim.htm().stats();
-  r.conflicts = sim.htm().conflicts().stats();
-  r.vm = sim.htm().vm().stats();
-  r.mem = sim.mem().stats();
 
-  // Scheme-specific stats: SUV directly, or via DynTM's backend.
-  htm::VersionManager* vmgr = &sim.htm().vm();
-  if (auto* dyn = dynamic_cast<vm::DynTm*>(vmgr)) {
-    r.has_dyntm = true;
-    r.dyntm = dyn->dyntm_stats();
-    vmgr = &dyn->inner();
-  }
-  if (auto* suvvm = dynamic_cast<vm::SuvVm*>(vmgr)) {
-    r.has_suv = true;
-    r.table = suvvm->table().stats();
-    r.suv = suvvm->suv_stats();
-    r.redirect_entries_live = suvvm->table().total_entries();
-    for (CoreId c = 0; c < sim.num_cores(); ++c) {
-      r.pool_lines_in_use += suvvm->pool(c).lines_in_use();
+  // Stats blocks sum over the machine's domains (exactly one on the classic
+  // monolithic machine; one per shard under conservative PDES). The domain
+  // order is fixed, so sharded harvests are deterministic by construction.
+  for (std::uint32_t d = 0; d < sim.num_domains(); ++d) {
+    accumulate(r.htm, sim.htm(d).stats());
+    accumulate(r.conflicts, sim.htm(d).conflicts().stats());
+    accumulate(r.vm, sim.htm(d).vm().stats());
+    accumulate(r.mem, sim.mem(d).stats());
+
+    // Scheme-specific stats: SUV directly, or via DynTM's backend.
+    htm::VersionManager* vmgr = &sim.htm(d).vm();
+    if (auto* dyn = dynamic_cast<vm::DynTm*>(vmgr)) {
+      r.has_dyntm = true;
+      accumulate(r.dyntm, dyn->dyntm_stats());
+      vmgr = &dyn->inner();
+    }
+    if (auto* suvvm = dynamic_cast<vm::SuvVm*>(vmgr)) {
+      r.has_suv = true;
+      accumulate(r.table, suvvm->table().stats());
+      accumulate(r.suv, suvvm->suv_stats());
+      r.redirect_entries_live += suvvm->table().total_entries();
+      for (CoreId c = 0; c < sim.num_cores(); ++c) {
+        r.pool_lines_in_use += suvvm->pool(c).lines_in_use();
+      }
     }
   }
 
   if (obs::Recorder* rec = sim.recorder()) {
     if (cfg.obs.metrics) {
-      r.metrics = obs::snapshot(rec->metrics());
+      r.metrics = sim.harvest_metrics();
       add_derived_metrics(r);
     }
     if (trace_out != nullptr && rec->tracing()) {
-      *trace_out = rec->take_trace();
+      *trace_out = sim.take_trace();
     }
   }
   return r;

@@ -178,11 +178,39 @@ struct ObsParams {
   bool enabled() const { return trace || metrics; }
 };
 
+/// Sharded conservative-PDES parameters (DESIGN.md section 14).
+///
+/// `shards` is a *semantic* knob: it declares the simulated machine as a
+/// partitioned one (each shard owns a contiguous block of cores plus its
+/// own slice of the memory hierarchy and HTM state, the way a tablet cell
+/// owns its key range in a distributed store). shards == 1 is exactly the
+/// classic monolithic machine. `host_threads` is a pure *execution* knob:
+/// at a fixed shard count, every RunResult/trace/metrics byte is identical
+/// for any host_threads value -- domains are simulated independently and
+/// merged in fixed shard order, so host threading can never reorder events.
+struct PdesParams {
+  /// Simulated-machine shards. Must divide mem.num_cores. Workloads built
+  /// for a sharded machine must keep transactions and stores shard-local;
+  /// cross-shard traffic is limited to non-transactional reads, which
+  /// travel through window-boundary mailboxes (checked builds throw
+  /// check::CheckFailure on violations).
+  std::uint32_t shards = 1;
+  /// Host threads driving the shard schedulers (--sim-threads /
+  /// SUVTM_SIM_THREADS). Clamped to `shards`; ignored when shards == 1.
+  /// No semantic effect by construction.
+  std::uint32_t host_threads = 1;
+  /// Conservative synchronization quantum in cycles. 0 = default (4096),
+  /// floored by the mesh's minimum cross-shard hop latency so the window
+  /// merge can never under-charge the NoC on a mailbox delivery.
+  Cycle window_cycles = 0;
+};
+
 struct SimConfig {
   Scheme scheme = Scheme::kSuv;
   MemParams mem;
   HtmParams htm;
   SuvParams suv;
+  PdesParams pdes;
   CheckParams check;
   ObsParams obs;
   std::uint64_t seed = 1;

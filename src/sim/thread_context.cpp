@@ -7,6 +7,7 @@
 #include "htm/htm_system.hpp"
 #include "obs/recorder.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/shard.hpp"
 
 namespace suvtm::sim {
 
@@ -14,9 +15,10 @@ ThreadContext::ThreadContext(CoreId core, const SimConfig& cfg,
                              Scheduler& sched, mem::MemorySystem& mem,
                              htm::HtmSystem& htm, Breakdown& breakdown,
                              std::uint64_t rng_seed, check::Checker* checker,
-                             obs::Recorder* obs)
+                             obs::Recorder* obs, const RemotePort* port)
     : core_(core), cfg_(cfg), sched_(sched), mem_(mem), htm_(htm),
-      breakdown_(breakdown), rng_(rng_seed), checker_(checker), obs_(obs) {}
+      breakdown_(breakdown), rng_(rng_seed), checker_(checker), obs_(obs),
+      port_(port) {}
 
 htm::Txn& ThreadContext::txn() { return htm_.txn(core_); }
 
@@ -55,7 +57,33 @@ void ThreadContext::start_abort(bool* aborted, std::coroutine_handle<> h) {
   });
 }
 
+bool ThreadContext::issue_remote(MemAwaiter& aw, std::coroutine_handle<> h,
+                                 std::uint32_t owner) {
+  // The sharded-machine purity contract (sim/config.hpp PdesParams):
+  // transactions, stores and RMWs stay shard-local; only non-transactional
+  // loads may cross shards. Violations throw unconditionally -- a workload
+  // declared for a sharded machine that breaks the contract would otherwise
+  // silently read/write the wrong domain's memory image.
+  if (in_tx() || aw.is_store || aw.rmw) {
+    throw check::CheckFailure(
+        "sharded-machine purity violation: only non-transactional loads may "
+        "cross shards (core accessed a foreign shard's address from a "
+        "transaction, store, or RMW)");
+  }
+  // The request leaves at the core's logical clock (scheduler time plus any
+  // fast-path run-ahead); a cross-shard miss is a synchronization point.
+  RemoteMsg m{core_, aw.addr, sched_.now() + skew_, h, &aw};
+  skew_ = 0;
+  port_->boxes->post(port_->shard, owner, m);
+  return true;
+}
+
 bool ThreadContext::issue_mem(MemAwaiter& aw, std::coroutine_handle<> h) {
+  if (port_ != nullptr) [[unlikely]] {
+    const std::uint32_t owner = port_->map->shard_of_addr(aw.addr);
+    if (owner != port_->shard) return issue_remote(aw, h, owner);
+  }
+
   htm::Txn& t = txn();
   const bool tx = t.state == htm::TxnState::kRunning;
 

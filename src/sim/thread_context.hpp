@@ -29,14 +29,19 @@ class MemorySystem;
 namespace suvtm::sim {
 
 class Scheduler;
+struct RemotePort;
 
 class ThreadContext {
  public:
+  /// `port` is non-null only on a sharded machine (sim/shard.hpp): it lets
+  /// this core route non-transactional loads of foreign-shard addresses
+  /// through the window-boundary mailboxes.
   ThreadContext(CoreId core, const SimConfig& cfg, Scheduler& sched,
                 mem::MemorySystem& mem, htm::HtmSystem& htm,
                 Breakdown& breakdown, std::uint64_t rng_seed,
                 check::Checker* checker = nullptr,
-                obs::Recorder* obs = nullptr);
+                obs::Recorder* obs = nullptr,
+                const RemotePort* port = nullptr);
 
   // ---- awaitables ----------------------------------------------------------
 
@@ -174,6 +179,12 @@ class ThreadContext {
   /// non-transactional fast path (the caller continues without a queue
   /// round trip, `skew_` cycles ahead of the scheduler clock).
   bool issue_mem(MemAwaiter& aw, std::coroutine_handle<> h);
+  /// Foreign-shard access: post a RemoteMsg to the owner's mailbox (the
+  /// merger replies at the next window boundary). Throws check::CheckFailure
+  /// for anything but a non-transactional load -- the sharded-machine
+  /// purity contract (sim/config.hpp PdesParams).
+  bool issue_remote(MemAwaiter& aw, std::coroutine_handle<> h,
+                    std::uint32_t owner);
   void issue_begin(BeginAwaiter& aw, std::coroutine_handle<> h);
   void issue_commit(CommitAwaiter& aw, std::coroutine_handle<> h);
   bool issue_compute(ComputeAwaiter& aw, std::coroutine_handle<> h);
@@ -195,6 +206,7 @@ class ThreadContext {
   Rng rng_;
   check::Checker* checker_;  // nullptr unless correctness checking is on
   obs::Recorder* obs_;       // nullptr unless tracing/metrics is on
+  const RemotePort* port_;   // nullptr unless the machine is sharded
   /// Fast-path run-ahead: cycles this core has consumed beyond the
   /// scheduler clock without a queue round trip. Bounded by
   /// cfg.fastpath_quantum; folded into the next scheduled delay at every

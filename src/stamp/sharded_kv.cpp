@@ -1,0 +1,105 @@
+#include "stamp/sharded_kv.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "stamp/framework.hpp"
+
+namespace suvtm::stamp {
+
+namespace {
+
+/// The constant each shard publishes in its config word; remote readers
+/// checksum it, so verify() can predict every worker's checksum exactly.
+constexpr std::uint64_t config_value(std::uint32_t shard) {
+  return 0xC0FFEE00ull + shard;
+}
+
+}  // namespace
+
+void ShardedKv::build(sim::Simulator& sim) {
+  const sim::ShardMap& map = sim.shard_map();
+  shards_ = map.shards;
+  cores_per_shard_ = map.cores_per_shard;
+  threads_ = sim.num_cores();
+  if (p_.txn_keys == 0 || p_.keys_per_txn == 0 || p_.remote_read_every == 0) {
+    throw std::invalid_argument("sharded_kv: params must be non-zero");
+  }
+
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    const Addr base = sim::ShardMap::arena_base(s);
+    sim.poke_word(base + kConfigOff, config_value(s));
+    for (std::uint32_t k = 0; k < p_.txn_keys; ++k) {
+      sim.poke_word(base + kKeysOff + Addr(k) * kWordBytes, 0);
+    }
+  }
+  for (CoreId c = 0; c < threads_; ++c) {
+    sim.spawn(c, worker(sim.context(c)));
+  }
+}
+
+sim::ThreadTask ShardedKv::worker(sim::ThreadContext& tc) {
+  const CoreId c = tc.core();
+  const std::uint32_t shard = c / cores_per_shard_;
+  const Addr base = sim::ShardMap::arena_base(shard);
+  const Addr remote_config =
+      sim::ShardMap::arena_base((shard + 1) % shards_) + kConfigOff;
+  const Addr checksum_word =
+      base + kChecksumOff + Addr(c - shard * cores_per_shard_) * kWordBytes;
+
+  Rng rng(p_.seed * 0x9e3779b97f4a7c15ull + c);
+  std::uint64_t checksum = 0;
+  for (std::uint64_t i = 0; i < p_.ops_per_thread; ++i) {
+    // Pick this op's read set; the last key is the one incremented, so each
+    // op adds exactly 1 to the shard's counter sum.
+    std::vector<std::uint32_t> keys(p_.keys_per_txn);
+    for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(p_.txn_keys));
+
+    co_await atomically(tc, /*site=*/1,
+                        [&](sim::ThreadContext& t) -> sim::Task<void> {
+      std::uint64_t sum = 0;
+      for (std::size_t j = 0; j + 1 < keys.size(); ++j) {
+        sum += co_await t.load(base + kKeysOff + Addr(keys[j]) * kWordBytes);
+      }
+      const Addr hot = base + kKeysOff + Addr(keys.back()) * kWordBytes;
+      const std::uint64_t v = co_await t.load(hot);
+      co_await t.compute(4 + sum % 4);
+      co_await t.store(hot, v + 1);
+    });
+
+    if ((i + 1) % p_.remote_read_every == 0) {
+      // The one legal kind of cross-shard access: a non-transactional load.
+      checksum += co_await tc.load(remote_config);
+      co_await tc.store(checksum_word, checksum);
+    }
+    co_await tc.compute(8);
+  }
+}
+
+void ShardedKv::verify(sim::Simulator& sim) const {
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    const Addr base = sim::ShardMap::arena_base(s);
+    for (std::uint32_t k = 0; k < p_.txn_keys; ++k) {
+      total += sim.read_word_resolved(base + kKeysOff + Addr(k) * kWordBytes);
+    }
+  }
+  const std::uint64_t expected_total = std::uint64_t(threads_) * p_.ops_per_thread;
+  if (total != expected_total) {
+    throw std::runtime_error("sharded_kv: counter sum lost updates");
+  }
+
+  const std::uint64_t reads_per_thread = p_.ops_per_thread / p_.remote_read_every;
+  for (CoreId c = 0; c < threads_; ++c) {
+    const std::uint32_t shard = c / cores_per_shard_;
+    const Addr checksum_word = sim::ShardMap::arena_base(shard) + kChecksumOff +
+                               Addr(c - shard * cores_per_shard_) * kWordBytes;
+    const std::uint64_t want =
+        reads_per_thread * config_value((shard + 1) % shards_);
+    if (sim.read_word_resolved(checksum_word) != want) {
+      throw std::runtime_error("sharded_kv: remote-read checksum mismatch");
+    }
+  }
+}
+
+}  // namespace suvtm::stamp

@@ -1,0 +1,58 @@
+// sharded_kv -- the driving workload for sharded (conservative-PDES)
+// machines. Each shard gets its own key-value arena at
+// sim::ShardMap::arena_base(s); every worker runs transactions strictly
+// inside its own shard's arena (the purity rule sharded machines enforce)
+// and, every few operations, issues one non-transactional read of the
+// neighbouring shard's config word -- the one kind of cross-shard traffic
+// the PDES mailboxes carry.
+//
+// The workload is deliberately not part of the AppId registry: the STAMP
+// suite models the paper's monolithic machine, while this kernel exists to
+// exercise and benchmark shard parallelism. It runs unchanged (and means
+// the same thing) at shards=1, where the "remote" read degenerates to a
+// local one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace suvtm::stamp {
+
+struct ShardedKvParams {
+  std::uint64_t ops_per_thread = 256;   ///< transactions per worker
+  std::uint32_t txn_keys = 64;          ///< counters per shard arena
+  std::uint32_t keys_per_txn = 4;       ///< loads (last one stored) per txn
+  std::uint32_t remote_read_every = 8;  ///< ops between cross-shard reads
+  std::uint64_t seed = 42;
+};
+
+/// Standalone workload object; build() spawns one worker per core, verify()
+/// checks the global counter sum and every worker's remote-read checksum.
+/// Must outlive Simulator::run(), like the registry workloads.
+class ShardedKv {
+ public:
+  explicit ShardedKv(ShardedKvParams p = {}) : p_(p) {}
+
+  void build(sim::Simulator& sim);
+  void verify(sim::Simulator& sim) const;
+
+  const ShardedKvParams& params() const { return p_; }
+
+ private:
+  sim::ThreadTask worker(sim::ThreadContext& tc);
+
+  // Per-shard arena layout (offsets from sim::ShardMap::arena_base(s)).
+  static constexpr Addr kConfigOff = 0x40;     ///< constant word, read remotely
+  static constexpr Addr kKeysOff = 0x100;      ///< txn_keys counters, 8B each
+  static constexpr Addr kChecksumOff = 0x20000;  ///< per-local-core, 8B each
+
+  ShardedKvParams p_;
+  std::uint32_t shards_ = 1;
+  std::uint32_t cores_per_shard_ = 1;
+  std::uint32_t threads_ = 0;
+};
+
+}  // namespace suvtm::stamp

@@ -47,6 +47,20 @@ struct TableStats {
   }
 };
 
+/// Sum `b` into `a` (harvesting a sharded machine's per-domain tables).
+inline void accumulate(TableStats& a, const TableStats& b) {
+  a.lookups += b.lookups;
+  a.summary_filtered += b.summary_filtered;
+  a.l1_hits += b.l1_hits;
+  a.l1_misses += b.l1_misses;
+  a.l2_hits += b.l2_hits;
+  a.mem_hits += b.mem_hits;
+  a.misspeculations += b.misspeculations;
+  a.false_filter_hits += b.false_filter_hits;
+  a.l1_overflow_entries += b.l1_overflow_entries;
+  a.l2_evictions += b.l2_evictions;
+}
+
 class RedirectTable {
  public:
   RedirectTable(const sim::SuvParams& p, std::uint32_t num_cores);

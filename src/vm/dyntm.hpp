@@ -73,6 +73,14 @@ struct DynTmStats {
   bool operator==(const DynTmStats&) const = default;
 };
 
+/// Sum `b` into `a` (harvesting a sharded machine's per-domain selectors).
+inline void accumulate(DynTmStats& a, const DynTmStats& b) {
+  a.eager_txns += b.eager_txns;
+  a.lazy_txns += b.lazy_txns;
+  a.lazy_commit_dooms += b.lazy_commit_dooms;
+  a.redo_overflows += b.redo_overflows;
+}
+
 class DynTm final : public htm::VersionManager {
  public:
   /// `inner` handles eager-mode transactions (and, when `suv_backend`, the

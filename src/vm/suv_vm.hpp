@@ -32,6 +32,17 @@ struct SuvVmStats {
   bool operator==(const SuvVmStats&) const = default;
 };
 
+/// Sum `b` into `a` (harvesting a sharded machine's per-domain SUV state).
+inline void accumulate(SuvVmStats& a, const SuvVmStats& b) {
+  a.entries_created += b.entries_created;
+  a.entries_toggled += b.entries_toggled;
+  a.entries_published += b.entries_published;
+  a.entries_deleted += b.entries_deleted;
+  a.entries_discarded += b.entries_discarded;
+  a.entries_reverted += b.entries_reverted;
+  a.table_overflow_txns += b.table_overflow_txns;
+}
+
 class SuvVm final : public htm::VersionManager {
  public:
   SuvVm(const sim::SuvParams& p, mem::MemorySystem& mem,

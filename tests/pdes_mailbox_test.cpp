@@ -1,0 +1,149 @@
+// Unit and property coverage for the PDES building blocks: ShardMap
+// geometry, the canonical mailbox drain order (receiver-major, then sender,
+// then FIFO -- independent of how sender threads interleaved their posts),
+// and a randomized end-to-end check that host thread count never leaks into
+// results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runner/experiment.hpp"
+#include "sim/shard.hpp"
+#include "sim/simulator.hpp"
+#include "stamp/sharded_kv.hpp"
+#include "suv/pool.hpp"
+
+namespace suvtm {
+namespace {
+
+TEST(ShardMap, CoreAndArenaOwnership) {
+  sim::ShardMap map{.shards = 4, .cores_per_shard = 4};
+  EXPECT_EQ(map.shard_of_core(0), 0u);
+  EXPECT_EQ(map.shard_of_core(3), 0u);
+  EXPECT_EQ(map.shard_of_core(4), 1u);
+  EXPECT_EQ(map.shard_of_core(15), 3u);
+
+  EXPECT_EQ(map.shard_of_addr(0x100), 0u);
+  EXPECT_EQ(map.shard_of_addr(sim::ShardMap::arena_base(2) + 0x40), 2u);
+  EXPECT_EQ(map.shard_of_addr(sim::ShardMap::arena_base(3)), 3u);
+  // Addresses above the declared arenas (but below the pool region) fall
+  // back to shard 0.
+  EXPECT_EQ(map.shard_of_addr(sim::ShardMap::arena_base(7)), 0u);
+}
+
+TEST(ShardMap, PoolLinesBelongToOwnersShard) {
+  sim::ShardMap map{.shards = 4, .cores_per_shard = 4};
+  // Core 5's preserved-pool region belongs to shard 1 (5 / 4).
+  const Addr a = suv::kPoolRegionBase + 5 * suv::kPoolRegionPerCore + 0x80;
+  EXPECT_EQ(suv::PreservedPool::owner_of(line_of(a)), 5u);
+  EXPECT_EQ(map.shard_of_addr(a), 1u);
+}
+
+/// Canonical drain order, as merge_boundary walks it: receivers ascending,
+/// senders ascending within a receiver, FIFO within a box.
+std::vector<sim::RemoteMsg> drain(sim::Mailboxes& boxes) {
+  std::vector<sim::RemoteMsg> out;
+  for (std::uint32_t to = 0; to < boxes.shards(); ++to) {
+    for (std::uint32_t from = 0; from < boxes.shards(); ++from) {
+      auto& b = boxes.box(from, to);
+      out.insert(out.end(), b.begin(), b.end());
+      b.clear();
+    }
+  }
+  return out;
+}
+
+TEST(Mailboxes, DrainOrderIndependentOfPostInterleaving) {
+  constexpr std::uint32_t kShards = 4;
+  Rng rng(0x1234);
+  for (int round = 0; round < 50; ++round) {
+    // One deterministic per-(from, to) message sequence...
+    std::vector<std::vector<sim::RemoteMsg>> pair_msgs(kShards * kShards);
+    for (std::uint32_t from = 0; from < kShards; ++from) {
+      for (std::uint32_t to = 0; to < kShards; ++to) {
+        auto& seq = pair_msgs[from * kShards + to];
+        const std::uint64_t n = rng.below(5);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          seq.push_back(sim::RemoteMsg{
+              .core = static_cast<CoreId>(from),
+              .addr = sim::ShardMap::arena_base(to) + i * kWordBytes,
+              .post_cycle = rng.below(1000)});
+        }
+      }
+    }
+
+    // ...posted twice under different global interleavings. Only the
+    // per-pair order is fixed (each box has a single writer); the global
+    // schedule across senders is whatever the host threads happened to do.
+    auto post_all = [&](sim::Mailboxes& boxes, Rng& order) {
+      std::vector<std::size_t> cursor(pair_msgs.size(), 0);
+      std::vector<std::size_t> live;
+      for (std::size_t p = 0; p < pair_msgs.size(); ++p) {
+        if (!pair_msgs[p].empty()) live.push_back(p);
+      }
+      while (!live.empty()) {
+        const std::size_t i = order.below(live.size());
+        const std::size_t p = live[i];
+        boxes.post(static_cast<std::uint32_t>(p / kShards),
+                   static_cast<std::uint32_t>(p % kShards),
+                   pair_msgs[p][cursor[p]]);
+        if (++cursor[p] == pair_msgs[p].size()) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    };
+
+    sim::Mailboxes a(kShards), b(kShards);
+    Rng order_a(round * 2 + 1), order_b(round * 977 + 5);
+    post_all(a, order_a);
+    post_all(b, order_b);
+
+    const auto da = drain(a);
+    const auto db = drain(b);
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      EXPECT_EQ(da[i].core, db[i].core);
+      EXPECT_EQ(da[i].addr, db[i].addr);
+      EXPECT_EQ(da[i].post_cycle, db[i].post_cycle);
+    }
+    EXPECT_TRUE(a.all_empty());
+    EXPECT_TRUE(b.all_empty());
+  }
+}
+
+TEST(PdesProperty, RandomizedRunsIdenticalAcrossHostThreads) {
+  Rng rng(0xfeed);
+  for (int round = 0; round < 8; ++round) {
+    sim::SimConfig cfg;
+    cfg.scheme = round % 2 == 0 ? sim::Scheme::kSuv : sim::Scheme::kFasTm;
+    cfg.seed = rng.next();
+    cfg.mem.num_cores = 8;
+    cfg.pdes.shards = 2;
+    cfg.obs.metrics = true;
+
+    stamp::ShardedKvParams p;
+    p.ops_per_thread = 16 + rng.below(32);
+    p.txn_keys = 4 + static_cast<std::uint32_t>(rng.below(12));
+    p.keys_per_txn = 2 + static_cast<std::uint32_t>(rng.below(3));
+    p.remote_read_every = 2 + static_cast<std::uint32_t>(rng.below(6));
+    p.seed = rng.next();
+
+    runner::RunResult results[2];
+    const std::uint32_t threads[2] = {1, 3};
+    for (int i = 0; i < 2; ++i) {
+      cfg.pdes.host_threads = threads[i];
+      sim::Simulator sim(cfg);
+      stamp::ShardedKv wl(p);
+      wl.build(sim);
+      sim.run();
+      wl.verify(sim);
+      results[i] = runner::harvest_result(sim, "sharded_kv");
+    }
+    EXPECT_EQ(results[0], results[1]) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace suvtm

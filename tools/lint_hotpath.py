@@ -22,6 +22,15 @@ memory access runs through) and rejects:
                   amortized and explicitly annotated. Scoped to the
                   scheduler because that is the one file where a stray
                   reallocation hits every event in the simulation.
+  sync-in-drain   locks/atomics (std::mutex, std::atomic, fetch_*, .lock(),
+                  condition variables, barrier waits) inside a loop body of
+                  the shard-parallel PDES files (src/sim/shard.{hpp,cpp}).
+                  The PDES design is lock-free by construction -- domains
+                  share nothing and the window barrier is the only
+                  synchronization -- so any per-event/per-message
+                  synchronization in the drain or window loops is a design
+                  regression. The single intended barrier wait carries an
+                  explicit annotation.
 
 Suppression: append `// lint: allow(<rule>)` to the offending line or the
 line directly above it. Placement new (`new (buf) T`) is not an allocation
@@ -52,6 +61,18 @@ GROWTH = re.compile(r"\.\s*(push_back|emplace_back|resize|reserve)\s*\(")
 # Files where growth-in-loop applies: the scheduler's event loop runs per
 # simulated event, so unamortized container growth there taxes everything.
 GROWTH_SCOPED_FILES = {"src/sim/scheduler.hpp", "src/sim/scheduler.cpp"}
+SYNC = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|atomic\b|atomic<|"
+    r"condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock|"
+    r"counting_semaphore|binary_semaphore|latch)|"
+    r"\.\s*(lock|try_lock|unlock|wait|notify_one|notify_all|"
+    r"arrive_and_wait|arrive_and_drop|fetch_add|fetch_sub|fetch_or|"
+    r"fetch_and|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\("
+)
+# Files where sync-in-drain applies: the conservative-PDES window/drain
+# loops, whose determinism and throughput both depend on staying lock-free.
+SYNC_SCOPED_FILES = {"src/sim/shard.hpp", "src/sim/shard.cpp"}
 LOOP_HEAD = re.compile(r"\b(for|while)\s*\(")
 ALLOW = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
 
@@ -119,7 +140,8 @@ def allowed_rules(raw_lines, idx):
     return rules
 
 
-def lint_file(path: Path, check_growth: bool = False):
+def lint_file(path: Path, check_growth: bool = False,
+              check_sync: bool = False):
     raw = path.read_text()
     raw_lines = raw.splitlines()
     lines = strip_comments_and_strings(raw).splitlines()
@@ -153,6 +175,11 @@ def lint_file(path: Path, check_growth: bool = False):
             report(idx, "growth-in-loop",
                    "container growth inside a scheduler loop (must be "
                    "amortized and annotated: // lint: allow(growth-in-loop))")
+        if in_loop and check_sync and SYNC.search(line):
+            report(idx, "sync-in-drain",
+                   "lock/atomic inside a PDES window or drain loop (the "
+                   "design is share-nothing; annotate the one intended "
+                   "barrier with // lint: allow(sync-in-drain))")
         if LOOP_HEAD.search(line):
             pending_loop = True
         for ch in line:
@@ -181,7 +208,8 @@ def main():
             if path.suffix in EXTENSIONS:
                 rel = path.relative_to(root).as_posix()
                 violations.extend(
-                    lint_file(path, check_growth=rel in GROWTH_SCOPED_FILES))
+                    lint_file(path, check_growth=rel in GROWTH_SCOPED_FILES,
+                              check_sync=rel in SYNC_SCOPED_FILES))
     if violations:
         for path, lineno, rule, msg in violations:
             print(f"{path.relative_to(root)}:{lineno}: [{rule}] {msg}")
