@@ -16,6 +16,29 @@ namespace {
 
 const char* st_name(mem::CohState s) { return mem::coh_state_name(s); }
 
+// Audit reports are capped (audit_all truncates), so hash-ordered
+// containers are drained through a sorted copy before any message is
+// emitted: which violations survive the cap must be a function of
+// simulated state, never of FlatMap/FlatSet hash or capacity policy
+// (suvlint: nondet-iteration).
+std::vector<LineAddr> sorted_drain(const FlatSet<LineAddr>& hashed) {
+  std::vector<LineAddr> out;
+  out.reserve(hashed.size());
+  // lint: allow(nondet-iteration): order laundered by the sort below
+  for (LineAddr l : hashed) out.push_back(l);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<LineAddr> sorted_keys(const FlatMap<LineAddr, std::uint64_t>& hashed) {
+  std::vector<LineAddr> out;
+  out.reserve(hashed.size());
+  // lint: allow(nondet-iteration): order laundered by the sort below
+  for (const auto& kv : hashed) out.push_back(kv.first);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::string> audit_coherence(const mem::MemorySystem& mem) {
@@ -271,7 +294,7 @@ std::vector<std::string> audit_suv(const vm::SuvVm& suv,
           static_cast<unsigned long long>(pool_lines[c])));
     }
     // Ownership lists must only name live transient entries of this core.
-    for (LineAddr l : owned[c]) {
+    for (LineAddr l : sorted_drain(owned[c])) {
       const suv::RedirectEntry* e = table.find(l);
       if (!e || !e->transient() || e->owner != c) {
         out.push_back(format(
@@ -282,7 +305,7 @@ std::vector<std::string> audit_suv(const vm::SuvVm& suv,
     }
     // Hardware table levels cache only live entries; pinned slots hold this
     // core's transients and never double as plain cached slots.
-    for (LineAddr l : table.pinned(c)) {
+    for (LineAddr l : sorted_drain(table.pinned(c))) {
       const suv::RedirectEntry* e = table.find(l);
       if (!e || !e->transient() || e->owner != c) {
         out.push_back(format(
@@ -297,12 +320,12 @@ std::vector<std::string> audit_suv(const vm::SuvVm& suv,
             c, static_cast<unsigned long long>(l)));
       }
     }
-    for (const auto& kv : table.l1_cached(c)) {
-      if (!table.find(kv.first)) {
+    for (LineAddr l : sorted_keys(table.l1_cached(c))) {
+      if (!table.find(l)) {
         out.push_back(format(
             "suv: core %u's first-level table caches %#llx, which has no "
             "live entry",
-            c, static_cast<unsigned long long>(kv.first)));
+            c, static_cast<unsigned long long>(l)));
       }
     }
   }

@@ -37,7 +37,9 @@ std::string diff_images(const FinalImage& a, const FinalImage& b,
   std::vector<std::string> diffs;
   std::vector<Addr> addrs;
   addrs.reserve(a.words.size() + b.words.size());
+  // lint: allow(nondet-iteration): order laundered by the sort below
   for (const auto& kv : a.words) addrs.push_back(kv.first);
+  // lint: allow(nondet-iteration): order laundered by the sort below
   for (const auto& kv : b.words) {
     if (!a.words.contains(kv.first)) addrs.push_back(kv.first);
   }

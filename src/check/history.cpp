@@ -160,6 +160,7 @@ void HistoryOracle::seal(CoreId c, Cycle now, bool lazy) {
   w.release_cycle = now;  // isolation drops when the commit completes
   w.lazy = lazy;
   w.touches.reserve(s.touches.size());
+  // lint: allow(nondet-iteration): touches are sorted by line right below
   for (const auto& kv : s.touches) {
     // A lazy transaction's writes only become visible at publish, so that
     // is their effective conflict time regardless of when they were issued
@@ -360,6 +361,8 @@ void HistoryOracle::replay_txn(const std::vector<AccessRec>& accesses) {
                        a.word, a.value, it->second));
     }
   }
+  // lint: allow(nondet-iteration): drains into a map keyed by word; the
+  // resulting replay_ content is the same whatever the visit order
   for (const auto& kv : scratch_own_) replay_[kv.first] = kv.second;
 }
 
@@ -376,12 +379,22 @@ void HistoryOracle::finalize(
   drain_all();
   window_.clear();
   if (!resolved_load) return;
-  for (const auto& kv : replay_) {
-    const std::uint64_t actual = resolved_load(kv.first);
-    if (actual != kv.second) {
+  // Sweep the final image in ascending word order: violation() caps the
+  // report at 64, so a hash-order walk of replay_ would let the FlatMap's
+  // hash policy pick which mismatches get reported instead of the lowest
+  // addresses (suvlint: nondet-iteration).
+  std::vector<Addr> addrs;
+  addrs.reserve(replay_.size());
+  // lint: allow(nondet-iteration): order laundered by the sort below
+  for (const auto& kv : replay_) addrs.push_back(kv.first);
+  std::sort(addrs.begin(), addrs.end());
+  for (Addr w : addrs) {
+    const std::uint64_t expect = replay_.find(w)->second;
+    const std::uint64_t actual = resolved_load(w);
+    if (actual != expect) {
       violation(format("final state: word %#" PRIx64 " is %#" PRIx64
                        " but serial replay yields %#" PRIx64,
-                       kv.first, actual, kv.second));
+                       w, actual, expect));
     }
   }
 }

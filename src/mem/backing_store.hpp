@@ -14,9 +14,11 @@
 // heap-allocated, so cached pointers survive map growth.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/flat_hash.hpp"
 #include "common/types.hpp"
@@ -47,11 +49,20 @@ class BackingStore {
   std::size_t pages_touched() const { return pages_.size(); }
 
   /// Visit the page index of every allocated page (the word at byte address
-  /// `id * kPageBytes + i * kWordBytes` is readable via load). Used by the
-  /// checker's full-image sweeps; pages are never freed.
+  /// `id * kPageBytes + i * kWordBytes` is readable via load), in ascending
+  /// page order. Used by the checker's full-image sweeps; pages are never
+  /// freed. The sorted drain is load-bearing: the sweeps cap how many
+  /// violations they report, so visiting in FlatMap hash order would make
+  /// *which* violations surface a function of the map's hash/capacity
+  /// policy instead of simulated state (suvlint: nondet-iteration).
   template <class Fn>
   void for_each_page_id(Fn&& fn) const {
-    for (const auto& kv : pages_) fn(kv.first);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(pages_.size());
+    // lint: allow(nondet-iteration): order laundered by the sort below
+    for (const auto& kv : pages_) ids.push_back(kv.first);
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t id : ids) fn(id);
   }
 
  private:

@@ -2,7 +2,9 @@
 // sharers held at the L2, 6-cycle access).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "common/flat_hash.hpp"
 #include "common/types.hpp"
@@ -37,10 +39,20 @@ class Directory {
 
   std::size_t tracked_lines() const { return map_.size(); }
 
-  /// Visit every tracked (line, entry) pair (structural audits).
+  /// Visit every tracked (line, entry) pair in ascending line order
+  /// (structural audits). Sorted drain on purpose: audit violations are
+  /// reported under a cap, so hash-order visitation would decide *which*
+  /// violations a run reports by hash/capacity policy rather than by
+  /// simulated state (suvlint: nondet-iteration). Audit-only path; the
+  /// per-access protocol never iterates.
   template <class Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& kv : map_) fn(kv.first, kv.second);
+    std::vector<LineAddr> lines;
+    lines.reserve(map_.size());
+    // lint: allow(nondet-iteration): order laundered by the sort below
+    for (const auto& kv : map_) lines.push_back(kv.first);
+    std::sort(lines.begin(), lines.end());
+    for (LineAddr l : lines) fn(l, map_.find(l)->second);
   }
 
  private:

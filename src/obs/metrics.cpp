@@ -123,6 +123,10 @@ MetricsSnapshot snapshot(const Metrics& m) {
 }
 
 void merge(MetricsSnapshot& a, const MetricsSnapshot& b) {
+  // lint: allow(float-accum-order): the reduction order is pinned by the
+  // callers -- shard snapshots merge in ascending shard index and run
+  // snapshots in submission order (DESIGN.md section 15) -- so the
+  // non-commuting double additions happen in one canonical order
   for (const auto& [name, v] : b.scalars) a.set(name, a.get(name) + v);
   for (const auto& h : b.histograms) {
     auto it = std::find_if(a.histograms.begin(), a.histograms.end(),

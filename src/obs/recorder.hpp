@@ -118,10 +118,10 @@ class Recorder {
     bool stall_open = false;
   };
 
-  bool trace_on_;
-  bool trace_mem_;
-  std::uint32_t sample_interval_;
-  std::uint32_t sample_countdown_;
+  bool trace_on_ = false;
+  bool trace_mem_ = false;
+  std::uint32_t sample_interval_ = 0;
+  std::uint32_t sample_countdown_ = 0;
   Cycle now_ = 0;
   Tracer tracer_;
   Metrics metrics_;

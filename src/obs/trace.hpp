@@ -71,7 +71,7 @@ class Tracer {
   TraceData take() { return std::move(data_); }
 
  private:
-  std::uint64_t max_;
+  std::uint64_t max_ = 0;
   TraceData data_;
 };
 

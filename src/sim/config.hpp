@@ -131,6 +131,8 @@ struct SuvParams {
 /// serves both the plain and the `_checked` ctest variants.
 inline bool check_enabled_by_env() {
   static const bool v = [] {
+    // lint: allow(wallclock-entropy): deliberate config gate -- selects
+    // which subsystems run, read once per process, never a simulated value
     const char* e = std::getenv("SUVTM_CHECK");
     return e != nullptr && *e != '\0' && !(e[0] == '0' && e[1] == '\0');
   }();
@@ -152,6 +154,8 @@ struct CheckParams {
 /// Env-var gate shared by the observability knobs: set (non-empty, not "0")
 /// means enabled. Read once per process, like check_enabled_by_env().
 inline bool env_flag(const char* var) {
+  // lint: allow(wallclock-entropy): deliberate config gate -- selects
+  // which subsystems run, read once per process, never a simulated value
   const char* e = std::getenv(var);
   return e != nullptr && *e != '\0' && !(e[0] == '0' && e[1] == '\0');
 }

@@ -101,7 +101,7 @@ class Mailboxes {
   }
 
  private:
-  std::uint32_t shards_;
+  std::uint32_t shards_ = 0;
   std::vector<std::vector<RemoteMsg>> boxes_;
 };
 
@@ -164,7 +164,7 @@ class ShardRuntime {
   std::vector<DomainPort> domains_;
   Mailboxes& boxes_;
   Breakdown* breakdowns_;
-  Cycle window_;
+  Cycle window_ = 0;
   Cycle boundary_ = 0;
   Cycle max_cycles_ = 0;
   bool done_ = false;

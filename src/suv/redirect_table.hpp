@@ -15,6 +15,7 @@
 // so un-redirected addresses (the common case) pay nothing.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -125,10 +126,18 @@ class RedirectTable {
 
   // --- structural-audit inspection -----------------------------------------
   /// Visit every live redirect entry (ground truth, both hardware levels
-  /// and the memory table).
+  /// and the memory table) in ascending original-address order. The audits
+  /// that consume this cap their violation reports, so a hash-order walk
+  /// would let the FlatMap's hash/capacity policy pick which violations
+  /// surface (suvlint: nondet-iteration). Audit-only; lookups never iterate.
   template <class Fn>
   void for_each_entry(Fn&& fn) const {
-    for (const auto& kv : entries_) fn(kv.second);
+    std::vector<LineAddr> originals;
+    originals.reserve(entries_.size());
+    // lint: allow(nondet-iteration): order laundered by the sort below
+    for (const auto& kv : entries_) originals.push_back(kv.first);
+    std::sort(originals.begin(), originals.end());
+    for (LineAddr o : originals) fn(entries_.find(o)->second);
   }
   /// Originals pinned in `core`'s first-level table (transient entries).
   const FlatSet<LineAddr>& pinned(CoreId core) const {

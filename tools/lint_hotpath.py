@@ -1,223 +1,26 @@
 #!/usr/bin/env python3
-"""Hot-path lint gate for the simulator's per-event code.
+"""DEPRECATED shim: the hot-path lint gate now lives in tools/suvlint.
 
-Scans src/mem, src/sim, src/htm and src/suv (the directories every simulated
-memory access runs through) and rejects:
+The regex scanner that used to be here has been replaced by the
+statement-level analysis framework in tools/suvlint, which carries the
+same five hot-path rules (node-container, std-function, alloc-in-loop,
+growth-in-loop, sync-in-drain) plus the determinism rule set guarding
+the bit-identity contract (DESIGN.md section 15).
 
-  node-container  std::map/set/unordered_map/unordered_set/list/forward_list/
-                  multimap/multiset -- node-based containers whose per-access
-                  pointer chasing the flat containers in common/flat_hash.hpp
-                  exist to avoid.
-  std-function    std::function -- type-erased calls with possible heap
-                  capture; use templates or sim::SmallFn on hot paths.
-                  (check/ and host-side tools may use it; they are not
-                  scanned.)
-  alloc-in-loop   operator new / make_unique / make_shared / malloc / calloc
-                  inside a loop body -- per-iteration allocation on a path
-                  that may run per simulated event.
-  growth-in-loop  container growth (push_back/emplace_back/resize/reserve)
-                  inside a loop body of the scheduler itself
-                  (src/sim/scheduler.{hpp,cpp}): the event loop runs per
-                  simulated event, so every growth call there must be
-                  amortized and explicitly annotated. Scoped to the
-                  scheduler because that is the one file where a stray
-                  reallocation hits every event in the simulation.
-  sync-in-drain   locks/atomics (std::mutex, std::atomic, fetch_*, .lock(),
-                  condition variables, barrier waits) inside a loop body of
-                  the shard-parallel PDES files (src/sim/shard.{hpp,cpp}).
-                  The PDES design is lock-free by construction -- domains
-                  share nothing and the window barrier is the only
-                  synchronization -- so any per-event/per-message
-                  synchronization in the drain or window loops is a design
-                  regression. The single intended barrier wait carries an
-                  explicit annotation.
-
-Suppression: append `// lint: allow(<rule>)` to the offending line or the
-line directly above it. Placement new (`new (buf) T`) is not an allocation
-and is ignored.
-
-Exit status: 0 when clean, 1 with a report when violations are found.
-Run from the repository root (the CTest registration does).
+This shim keeps old invocations working by exec'ing suvlint restricted
+to the legacy rule set. Run `python3 tools/suvlint` directly for the
+full analysis; this file will eventually be removed.
 """
 
-import re
 import sys
 from pathlib import Path
 
-HOT_DIRS = ["src/mem", "src/sim", "src/htm", "src/suv"]
-EXTENSIONS = {".hpp", ".cpp"}
+sys.stderr.write(
+    "lint_hotpath.py is deprecated: running `python3 tools/suvlint "
+    "--legacy-only` (use tools/suvlint directly for the full rule set)\n")
 
-NODE_CONTAINERS = re.compile(
-    r"\bstd::(map|set|unordered_map|unordered_set|list|forward_list|"
-    r"multimap|multiset)\s*<"
-)
-STD_FUNCTION = re.compile(r"\bstd::function\s*<")
-# `new (` is placement new; require the allocated type to follow directly.
-ALLOCATION = re.compile(
-    r"(\bnew\s+[A-Za-z_:<(]|std::make_unique\s*<|std::make_shared\s*<|"
-    r"\bmalloc\s*\(|\bcalloc\s*\()"
-)
-GROWTH = re.compile(r"\.\s*(push_back|emplace_back|resize|reserve)\s*\(")
-# Files where growth-in-loop applies: the scheduler's event loop runs per
-# simulated event, so unamortized container growth there taxes everything.
-GROWTH_SCOPED_FILES = {"src/sim/scheduler.hpp", "src/sim/scheduler.cpp"}
-SYNC = re.compile(
-    r"\bstd::(mutex|shared_mutex|recursive_mutex|atomic\b|atomic<|"
-    r"condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock|"
-    r"counting_semaphore|binary_semaphore|latch)|"
-    r"\.\s*(lock|try_lock|unlock|wait|notify_one|notify_all|"
-    r"arrive_and_wait|arrive_and_drop|fetch_add|fetch_sub|fetch_or|"
-    r"fetch_and|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
-    r"\s*\("
-)
-# Files where sync-in-drain applies: the conservative-PDES window/drain
-# loops, whose determinism and throughput both depend on staying lock-free.
-SYNC_SCOPED_FILES = {"src/sim/shard.hpp", "src/sim/shard.cpp"}
-LOOP_HEAD = re.compile(r"\b(for|while)\s*\(")
-ALLOW = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
+sys.path.insert(0, str(Path(__file__).resolve().parent / "suvlint"))
 
+from cli import main  # noqa: E402
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments, string and char literals, preserving line
-    structure so reported line numbers stay meaningful."""
-    out = []
-    i, n = 0, len(text)
-    mode = None  # None | "line" | "block" | '"' | "'"
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if mode is None:
-            if ch == "/" and nxt == "/":
-                mode = "line"
-                out.append("  ")
-                i += 2
-            elif ch == "/" and nxt == "*":
-                mode = "block"
-                out.append("  ")
-                i += 2
-            elif ch in "\"'":
-                mode = ch
-                out.append(" ")
-                i += 1
-            else:
-                out.append(ch)
-                i += 1
-        elif mode == "line":
-            if ch == "\n":
-                mode = None
-                out.append(ch)
-            else:
-                out.append(" ")
-            i += 1
-        elif mode == "block":
-            if ch == "*" and nxt == "/":
-                mode = None
-                out.append("  ")
-                i += 2
-            else:
-                out.append(ch if ch == "\n" else " ")
-                i += 1
-        else:  # string or char literal
-            if ch == "\\":
-                out.append("  ")
-                i += 2
-            elif ch == mode:
-                mode = None
-                out.append(" ")
-                i += 1
-            else:
-                out.append(ch if ch == "\n" else " ")
-                i += 1
-    return "".join(out)
-
-
-def allowed_rules(raw_lines, idx):
-    """Suppressions on this line or the line directly above."""
-    rules = set()
-    for j in (idx, idx - 1):
-        if 0 <= j < len(raw_lines):
-            rules.update(ALLOW.findall(raw_lines[j]))
-    return rules
-
-
-def lint_file(path: Path, check_growth: bool = False,
-              check_sync: bool = False):
-    raw = path.read_text()
-    raw_lines = raw.splitlines()
-    lines = strip_comments_and_strings(raw).splitlines()
-    violations = []
-
-    # Loop tracking: remember the brace depth at which each loop body opened;
-    # leaving that depth closes the loop. Single-statement (braceless) loop
-    # bodies are not tracked -- acceptable for a heuristic gate.
-    depth = 0
-    loop_stack = []  # brace depths of open loop bodies
-    pending_loop = False  # saw a loop head, waiting for its opening brace
-
-    def report(idx, rule, msg):
-        if rule not in allowed_rules(raw_lines, idx):
-            violations.append((path, idx + 1, rule, msg))
-
-    for idx, line in enumerate(lines):
-        if NODE_CONTAINERS.search(line):
-            report(idx, "node-container",
-                   "node-based std container on a hot path "
-                   "(use common/flat_hash.hpp)")
-        if STD_FUNCTION.search(line):
-            report(idx, "std-function",
-                   "std::function on a hot path "
-                   "(use a template parameter or sim::SmallFn)")
-        in_loop = bool(loop_stack)
-        if in_loop and ALLOCATION.search(line):
-            report(idx, "alloc-in-loop",
-                   "allocation inside a loop on a hot path")
-        if in_loop and check_growth and GROWTH.search(line):
-            report(idx, "growth-in-loop",
-                   "container growth inside a scheduler loop (must be "
-                   "amortized and annotated: // lint: allow(growth-in-loop))")
-        if in_loop and check_sync and SYNC.search(line):
-            report(idx, "sync-in-drain",
-                   "lock/atomic inside a PDES window or drain loop (the "
-                   "design is share-nothing; annotate the one intended "
-                   "barrier with // lint: allow(sync-in-drain))")
-        if LOOP_HEAD.search(line):
-            pending_loop = True
-        for ch in line:
-            if ch == "{":
-                depth += 1
-                if pending_loop:
-                    loop_stack.append(depth)
-                    pending_loop = False
-            elif ch == "}":
-                while loop_stack and loop_stack[-1] >= depth:
-                    loop_stack.pop()
-                depth -= 1
-        if pending_loop and line.rstrip().endswith(";"):
-            pending_loop = False  # braceless single-statement body
-    return violations
-
-
-def main():
-    root = Path.cwd()
-    if not (root / "src").is_dir():
-        sys.stderr.write("lint_hotpath.py: run from the repository root\n")
-        return 2
-    violations = []
-    for d in HOT_DIRS:
-        for path in sorted((root / d).rglob("*")):
-            if path.suffix in EXTENSIONS:
-                rel = path.relative_to(root).as_posix()
-                violations.extend(
-                    lint_file(path, check_growth=rel in GROWTH_SCOPED_FILES,
-                              check_sync=rel in SYNC_SCOPED_FILES))
-    if violations:
-        for path, lineno, rule, msg in violations:
-            print(f"{path.relative_to(root)}:{lineno}: [{rule}] {msg}")
-        print(f"lint_hotpath: {len(violations)} violation(s)")
-        return 1
-    print("lint_hotpath: clean")
-    return 0
-
-
-if __name__ == "__main__":
-    sys.exit(main())
+sys.exit(main(["--legacy-only", *sys.argv[1:]]))

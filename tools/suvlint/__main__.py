@@ -1,0 +1,11 @@
+"""Entry point: `python3 tools/suvlint [args]`.
+
+Running a directory puts it on sys.path, so the package's modules import
+flat (`from engine import ...`); this stub just dispatches to the CLI.
+"""
+
+import sys
+
+from cli import main
+
+sys.exit(main())

@@ -1,0 +1,444 @@
+"""C++-aware lexing for suvlint.
+
+This is not a full C++ front end: it is the smallest amount of lexical
+structure the rules need to be *statement-accurate* instead of
+line-accurate, which is exactly where the old regex scanner
+(tools/lint_hotpath.py) had known gaps:
+
+  * comments, string literals and char literals are stripped with line
+    structure preserved, so nothing inside them can match a rule;
+  * the token stream is regrouped into logical *statements* (split on
+    `;`, `{`, `}`), so a call split across physical lines --
+    `std::make_unique\n    <Foo>(...)` -- matches the same as a
+    single-line spelling;
+  * brace depth, loop bodies (including the loop-header line itself),
+    range-for range expressions, and struct/class bodies are tracked so
+    rules can scope themselves structurally.
+
+Everything downstream (engine.py, rules/) consumes the FileModel built
+here and never re-reads raw text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+# --- comment / string stripping ---------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank comments and string/char literals, preserving newlines so
+    offsets keep mapping to the same (line, column)."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | "line" | "block" | '"' | "'" | "raw"
+    raw_delim = ""
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if ch == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+            elif ch == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+            elif ch == "R" and nxt == '"':
+                m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
+                if m:
+                    mode = "raw"
+                    raw_delim = ")" + m.group(1) + '"'
+                    out.append(" " * len(m.group(0)))
+                    i += len(m.group(0))
+                else:
+                    out.append(ch)
+                    i += 1
+            elif ch in "\"'":
+                mode = ch
+                out.append(" ")
+                i += 1
+            else:
+                out.append(ch)
+                i += 1
+        elif mode == "line":
+            if ch == "\n":
+                mode = None
+                out.append(ch)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if ch == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(ch if ch == "\n" else " ")
+                i += 1
+        elif mode == "raw":
+            if text.startswith(raw_delim, i):
+                mode = None
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append(ch if ch == "\n" else " ")
+                i += 1
+        else:  # "..." or '...'
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+            elif ch == mode:
+                mode = None
+                out.append(" ")
+                i += 1
+            else:
+                out.append(ch if ch == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+# --- tokens ------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Token:
+    text: str
+    line: int  # 0-based physical line of the token's first character
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"{self.text!r}@{self.line + 1}"
+
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*"      # identifier / keyword
+    r"|\d[\w.]*"                    # number (good enough)
+    r"|::|->|\+\+|--|<<=|>>=|<<"    # multi-char operators we care about
+    r"|\+=|-=|\*=|/=|%=|&=|\|=|\^=|==|!=|<=|>=|&&|\|\||\.\.\."
+    r"|[{}()\[\];,<>*&=+\-/%!~^.|?:#]"
+)
+
+
+def tokenize(clean_text: str) -> list[Token]:
+    tokens = []
+    line = 0
+    pos = 0
+    for m in _TOKEN_RE.finditer(clean_text):
+        line += clean_text.count("\n", pos, m.start())
+        pos = m.start()
+        tokens.append(Token(m.group(0), line))
+    return tokens
+
+
+# --- statements --------------------------------------------------------------
+
+@dataclass
+class Statement:
+    """One logical statement: the tokens between `;` / `{` / `}` boundaries
+    (the boundary token is included, so loop/struct headers end with `{`).
+    `text` is the normalized single-line spelling used for regex rules;
+    `depth` is the brace depth the statement *starts* at."""
+
+    tokens: list[Token]
+    depth: int
+    text: str = ""
+    # token-index -> offset of that token inside `text` (for line mapping)
+    offsets: list[int] = field(default_factory=list)
+
+    @property
+    def first_line(self) -> int:
+        return self.tokens[0].line
+
+    @property
+    def last_line(self) -> int:
+        return self.tokens[-1].line
+
+    def line_of_offset(self, off: int) -> int:
+        """Physical line of the normalized-text offset `off` (for reporting
+        matches found inside multi-line statements on the right line)."""
+        best = self.tokens[0].line
+        for tok, tok_off in zip(self.tokens, self.offsets):
+            if tok_off <= off:
+                best = tok.line
+            else:
+                break
+        return best
+
+
+_NO_SPACE_BEFORE = {"::", "(", ")", "[", "]", ",", ";", ".", "->", "<", ">"}
+_NO_SPACE_AFTER = {"::", "(", "[", ".", "->", "<", "~", "!"}
+
+
+def _normalize(tokens: list[Token]) -> tuple[str, list[int]]:
+    """Join tokens into one line. `::`/`.`/`->`/`(`/template brackets join
+    tightly so qualified names (`std::unordered_map<`) and calls
+    (`make_unique<T>(`) regex-match their conventional spelling."""
+    parts: list[str] = []
+    offsets: list[int] = []
+    off = 0
+    prev = None
+    for tok in tokens:
+        sep = ""
+        if prev is not None:
+            sep = " "
+            if tok.text in _NO_SPACE_BEFORE or prev in _NO_SPACE_AFTER:
+                sep = ""
+        if sep:
+            parts.append(sep)
+            off += 1
+        offsets.append(off)
+        parts.append(tok.text)
+        off += len(tok.text)
+        prev = tok.text
+    return "".join(parts), offsets
+
+
+# --- structural model --------------------------------------------------------
+
+@dataclass
+class Loop:
+    """One `for`/`while` loop with a braced body."""
+    header_first_line: int   # line of the `for`/`while` keyword
+    header_last_line: int    # line of the body-opening `{`
+    body_first_line: int
+    body_last_line: int
+    is_range_for: bool = False
+    range_text: str = ""     # normalized range expression (range-for only)
+
+
+@dataclass
+class StructDef:
+    """One `struct`/`class` definition with a body."""
+    name: str
+    header_line: int
+    body_first_line: int
+    body_last_line: int
+    # member-declaration statements at the struct's own depth
+    members: list[Statement] = field(default_factory=list)
+    body_statements: list[Statement] = field(default_factory=list)
+
+
+@dataclass
+class FileModel:
+    path: str                      # repo-relative posix path
+    raw_lines: list[str]
+    clean_lines: list[str]
+    tokens: list[Token]
+    statements: list[Statement]
+    loops: list[Loop]
+    structs: list[StructDef]
+
+    def loops_containing(self, line: int) -> list[Loop]:
+        return [lp for lp in self.loops
+                if lp.body_first_line <= line <= lp.body_last_line]
+
+    def in_loop_body(self, line: int) -> bool:
+        return any(True for _ in self.loops_containing(line))
+
+
+def _match_paren(tokens: list[Token], i: int) -> int:
+    """Index of the `)` matching the `(` at index i, or len(tokens)."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
+
+
+def _match_brace(tokens: list[Token], i: int) -> int:
+    """Index of the `}` matching the `{` at index i, or len(tokens) - 1."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens) - 1
+
+
+def _split_statements(tokens: list[Token]) -> list[Statement]:
+    stmts: list[Statement] = []
+    cur: list[Token] = []
+    depth = 0
+    for tok in tokens:
+        cur.append(tok)
+        if tok.text in (";", "{", "}"):
+            start_depth = depth
+            if tok.text == "{":
+                depth += 1
+            elif tok.text == "}":
+                depth = max(0, depth - 1)
+                start_depth = depth
+            text, offsets = _normalize(cur)
+            stmts.append(Statement(cur, start_depth, text, offsets))
+            cur = []
+    if cur:
+        text, offsets = _normalize(cur)
+        stmts.append(Statement(cur, depth, text, offsets))
+    return stmts
+
+
+_LOOP_KEYWORDS = {"for", "while"}
+_STRUCT_KEYWORDS = {"struct", "class"}
+
+
+def _find_loops(tokens: list[Token]) -> list[Loop]:
+    loops: list[Loop] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        tok = tokens[i]
+        if tok.text in _LOOP_KEYWORDS and i + 1 < n and \
+                tokens[i + 1].text == "(":
+            # `while` of a do-while has no body after the `)`; handled below
+            # because the next token will not be `{`.
+            close = _match_paren(tokens, i + 1)
+            is_range = False
+            range_text = ""
+            if tok.text == "for":
+                # range-for: a `:` at paren depth 1 outside template args
+                depth = 0
+                tmpl = 0
+                for j in range(i + 1, close):
+                    t = tokens[j].text
+                    if t == "(":
+                        depth += 1
+                    elif t == ")":
+                        depth -= 1
+                    elif t == "<":
+                        tmpl += 1
+                    elif t == ">":
+                        tmpl = max(0, tmpl - 1)
+                    elif t == ":" and depth == 1 and tmpl == 0 and \
+                            (j + 1 >= n or tokens[j + 1].text != ":") and \
+                            tokens[j - 1].text != ":":
+                        is_range = True
+                        range_text, _ = _normalize(tokens[j + 1:close])
+                        break
+            body_open = close + 1
+            if body_open < n and tokens[body_open].text == "{":
+                body_close = _match_brace(tokens, body_open)
+                loops.append(Loop(
+                    header_first_line=tok.line,
+                    header_last_line=tokens[body_open].line,
+                    body_first_line=tokens[body_open].line,
+                    body_last_line=tokens[body_close].line,
+                    is_range_for=is_range,
+                    range_text=range_text,
+                ))
+            else:
+                # Braceless single-statement body: the body is not tracked
+                # (same contract as the old scanner), but the header still
+                # is -- a braceless range-for over a hash-ordered container
+                # must not escape nondet-iteration. body range is empty.
+                loops.append(Loop(
+                    header_first_line=tok.line,
+                    header_last_line=tokens[close].line
+                    if close < n else tok.line,
+                    body_first_line=-1,
+                    body_last_line=-2,
+                    is_range_for=is_range,
+                    range_text=range_text,
+                ))
+            i = close + 1
+            continue
+        i += 1
+    return loops
+
+
+def _find_structs(tokens: list[Token], statements: list[Statement]) \
+        -> list[StructDef]:
+    structs: list[StructDef] = []
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.text not in _STRUCT_KEYWORDS:
+            continue
+        # `struct Name ... {` -- skip forward declarations (`struct Name;`)
+        # and `enum struct`/`enum class` (previous token is `enum`).
+        if i > 0 and tokens[i - 1].text == "enum":
+            continue
+        if i + 1 >= n or not re.match(r"[A-Za-z_]", tokens[i + 1].text):
+            continue
+        name = tokens[i + 1].text
+        j = i + 2
+        # skip `final`, base clause, attributes, up to `{` or `;`
+        while j < n and tokens[j].text not in ("{", ";", "("):
+            j += 1
+        if j >= n or tokens[j].text != "{":
+            continue
+        body_close = _match_brace(tokens, j)
+        sd = StructDef(
+            name=name,
+            header_line=tok.line,
+            body_first_line=tokens[j].line,
+            body_last_line=tokens[body_close].line,
+        )
+        body_start_line = tokens[j].line
+        body_end_line = tokens[body_close].line
+        for st in statements:
+            if st.first_line < body_start_line or \
+                    st.last_line > body_end_line:
+                continue
+            sd.body_statements.append(st)
+            if st.tokens[-1].text == ";" and _looks_like_member(st):
+                sd.members.append(st)
+        structs.append(sd)
+    return structs
+
+
+def _looks_like_member(st: Statement) -> bool:
+    """Heuristic: a data-member declaration (not a function declaration,
+    using-alias, friend, static member, or access label)."""
+    first = st.tokens[0].text
+    if first in ("using", "typedef", "friend", "static", "public", "private",
+                 "protected", "template", "return", "if", "else", "case",
+                 "break", "continue", "throw", "delete", "do", "goto",
+                 "switch", "default", "operator", "explicit", "virtual",
+                 "enum", "struct", "class", "namespace", "#"):
+        return False
+    text = st.text
+    if "operator" in text or "= default" in text or "= delete" in text:
+        return False
+    # A function declaration has a parameter list before any initializer:
+    # `Type name(args);` / `Type name(args) const;`. A member with a
+    # parenthesized initializer (`int x(0);`) is vanishingly rare in this
+    # codebase, so any top-level `(` before `=` or `{` marks a function.
+    tmpl = 0
+    for tok in st.tokens:
+        t = tok.text
+        if t == "<":
+            tmpl += 1
+        elif t == ">":
+            tmpl = max(0, tmpl - 1)
+        elif tmpl == 0:
+            if t == "(":
+                return False
+            if t in ("=", "{"):
+                return True
+    return True
+
+
+def build_model(path: str, text: str) -> FileModel:
+    clean = strip_comments_and_strings(text)
+    tokens = tokenize(clean)
+    statements = _split_statements(tokens)
+    loops = _find_loops(tokens)
+    structs = _find_structs(tokens, statements)
+    return FileModel(
+        path=path,
+        raw_lines=text.splitlines(),
+        clean_lines=clean.splitlines(),
+        tokens=tokens,
+        statements=statements,
+        loops=loops,
+        structs=structs,
+    )

@@ -1,0 +1,9 @@
+// Fixture: alloc-in-loop must fire on an allocation inside a loop body.
+#include <memory>
+
+void warm(int n) {
+  for (int i = 0; i < n; ++i) {
+    auto p = std::make_unique<int>(i);
+    (void)p;
+  }
+}

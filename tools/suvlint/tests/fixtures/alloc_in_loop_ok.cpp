@@ -1,0 +1,11 @@
+// Fixture twin: annotation on the loop header covers the body (the old
+// scanner silently ignored this placement).
+#include <memory>
+
+void warm(int n) {
+  // lint: allow(alloc-in-loop): one-time pool warm-up, bounded by config
+  for (int i = 0; i < n; ++i) {
+    auto p = std::make_unique<int>(i);
+    (void)p;
+  }
+}

@@ -1,0 +1,9 @@
+// Fixture: float-accum-order must fire on floating-point accumulation on
+// a merge/flatten path (harness places this at src/obs/metrics.cpp).
+#include <vector>
+
+double flatten(const std::vector<double>& shard_totals) {
+  double total = 0.0;
+  for (double v : shard_totals) total += v;
+  return total;
+}

@@ -1,0 +1,10 @@
+// Fixture twin: the reduction order is pinned by the caller, annotated.
+#include <vector>
+
+double flatten(const std::vector<double>& shard_totals) {
+  double total = 0.0;
+  // lint: allow(float-accum-order): shard_totals arrives in ascending
+  // shard index order, so the reduction order is canonical
+  for (double v : shard_totals) total += v;
+  return total;
+}

@@ -1,0 +1,9 @@
+// Fixture: growth-in-loop must fire on container growth inside a loop in
+// the scheduler files (harness places this at src/sim/scheduler.cpp).
+#include <vector>
+
+void drain(std::vector<int>& ready, int n) {
+  for (int i = 0; i < n; ++i) {
+    ready.push_back(i);
+  }
+}

@@ -1,0 +1,9 @@
+// Fixture twin: growth annotated as amortized.
+#include <vector>
+
+void drain(std::vector<int>& ready, int n) {
+  for (int i = 0; i < n; ++i) {
+    // lint: allow(growth-in-loop): amortized, capacity reserved at setup
+    ready.push_back(i);
+  }
+}

@@ -1,0 +1,7 @@
+// Fixture: node-container must fire on a node-based std container in a
+// hot-path directory.
+#include <map>
+
+struct Tracker {
+  std::map<int, int> by_line_;  // node-based, pointer-chasing
+};

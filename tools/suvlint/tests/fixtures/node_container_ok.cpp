@@ -1,0 +1,7 @@
+// Fixture twin: the same container, annotated.
+#include <map>
+
+struct Tracker {
+  // lint: allow(node-container): cold path, built once at config load
+  std::map<int, int> by_line_;
+};

@@ -1,0 +1,13 @@
+// Fixture: nondet-iteration must fire on a range-for over a hash-ordered
+// container in a result-affecting directory.
+#include "common/flat_hash.hpp"
+
+struct Sweep {
+  FlatMap<unsigned long long, int> lines_;
+
+  int tally() const {
+    int n = 0;
+    for (const auto& kv : lines_) n += kv.second;
+    return n;
+  }
+};

@@ -1,0 +1,21 @@
+// Fixture twin: the ordered-drain idiom -- collect, sort, consume -- with
+// the collection loop annotated.
+#include <algorithm>
+#include <vector>
+
+#include "common/flat_hash.hpp"
+
+struct Sweep {
+  FlatMap<unsigned long long, int> lines_;
+
+  int tally() const {
+    std::vector<unsigned long long> keys;
+    keys.reserve(lines_.size());
+    // lint: allow(nondet-iteration): order laundered by the sort below
+    for (const auto& kv : lines_) keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    int n = 0;
+    for (unsigned long long k : keys) n += lines_.find(k)->second;
+    return n;
+  }
+};

@@ -1,0 +1,9 @@
+// Fixture: pointer-keyed-order must fire on a container keyed by a raw
+// pointer (iteration/comparison order then follows allocator layout).
+#include "common/flat_hash.hpp"
+
+struct Txn;
+
+struct Registry {
+  FlatMap<Txn*, int> priority_;
+};

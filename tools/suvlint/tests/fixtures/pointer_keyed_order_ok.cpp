@@ -1,0 +1,8 @@
+// Fixture twin: keyed by a stable id instead of an address.
+#include <cstdint>
+
+#include "common/flat_hash.hpp"
+
+struct Registry {
+  FlatMap<std::uint32_t, int> priority_;  // keyed by core id
+};

@@ -1,0 +1,8 @@
+// Fixture: std-function must fire on a hot path, including when the
+// declaration is split across physical lines (the old scanner's gap).
+#include <functional>
+
+struct Hooks {
+  std::function
+      <void(int)> on_commit_;
+};

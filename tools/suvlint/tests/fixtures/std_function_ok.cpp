@@ -1,0 +1,9 @@
+// Fixture twin: the same declaration, annotated.
+#include <functional>
+
+struct Hooks {
+  // lint: allow(std-function): installed once at setup, never invoked
+  // per simulated event
+  std::function
+      <void(int)> on_commit_;
+};

@@ -1,0 +1,9 @@
+// Fixture: sync-in-drain must fire on atomics inside a loop in the shard
+// files (harness places this at src/sim/shard.cpp).
+#include <atomic>
+
+void drain(std::atomic<int>& pending, int n) {
+  for (int i = 0; i < n; ++i) {
+    pending.fetch_add(1);
+  }
+}

@@ -1,0 +1,9 @@
+// Fixture twin: the one intended synchronization point, annotated.
+#include <atomic>
+
+void drain(std::atomic<int>& pending, int n) {
+  // lint: allow(sync-in-drain): the window barrier itself, once per window
+  for (int i = 0; i < n; ++i) {
+    pending.fetch_add(1);
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: uninit-member must fire on an uninitialized scalar member of a
+// value-compared struct (defaulted operator== marks it as riding in
+// results/trace comparisons).
+#include <cstdint>
+
+struct TouchRec {
+  std::uint64_t line;
+  std::uint32_t first_read = 0;
+
+  bool operator==(const TouchRec&) const = default;
+};

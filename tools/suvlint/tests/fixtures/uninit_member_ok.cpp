@@ -1,0 +1,10 @@
+// Fixture twin: every scalar member defaulted, so padding/garbage can
+// never reach a comparison or hash.
+#include <cstdint>
+
+struct TouchRec {
+  std::uint64_t line = 0;
+  std::uint32_t first_read = 0;
+
+  bool operator==(const TouchRec&) const = default;
+};

@@ -1,0 +1,8 @@
+// Fixture: wallclock-entropy must fire on host entropy entering the
+// simulated world.
+#include <cstdlib>
+#include <ctime>
+
+unsigned seed_from_host() {
+  return static_cast<unsigned>(time(nullptr));
+}

@@ -1,0 +1,9 @@
+// Fixture twin: a deliberate, inert host read, annotated.
+#include <cstdlib>
+#include <ctime>
+
+unsigned seed_from_host() {
+  // lint: allow(wallclock-entropy): debug-only banner timestamp; value
+  // never reaches simulated state or results
+  return static_cast<unsigned>(time(nullptr));
+}

@@ -1,0 +1,285 @@
+"""Engine-level tests for suvlint.
+
+These pin the two behaviours the old regex scanner got wrong (multi-line
+statements slipping through; `// lint: allow()` above a brace-opening
+loop header silently ignored) plus the load-bearing engine mechanics:
+comment/string stripping, suppression placement, and the baseline.
+
+Run: python3 tools/suvlint/tests/test_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from engine import Engine  # noqa: E402
+from rules import make_rules  # noqa: E402
+
+
+def run_on(source: str, dest: str = "src/sim/fixture.cpp",
+           only: set[str] | None = None, baseline: dict | None = None):
+    """Run the engine over a one-file temp tree; return (findings, engine)."""
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        f = root / dest
+        f.parent.mkdir(parents=True, exist_ok=True)
+        f.write_text(source)
+        baseline_path = None
+        if baseline is not None:
+            baseline_path = root / "baseline.json"
+            baseline_path.write_text(json.dumps(baseline))
+        eng = Engine(root, make_rules(only), ["src"], baseline_path)
+        return eng.run(), eng
+
+
+def active(findings):
+    return [f for f in findings if not f.suppressed]
+
+
+def rules_hit(findings):
+    return sorted({f.rule for f in active(findings)})
+
+
+# --- the two legacy scanner gaps ---------------------------------------------
+
+def test_multiline_statement_matches():
+    # Old scanner: line-based regexes missed a call split across lines.
+    src = (
+        "void f() {\n"
+        "  std::function\n"
+        "      <void(int)> cb;\n"
+        "  for (int i = 0; i < 4; ++i) {\n"
+        "    auto p = std::make_unique\n"
+        "        <int>(i);\n"
+        "  }\n"
+        "}\n"
+    )
+    findings, _ = run_on(src)
+    assert "std-function" in rules_hit(findings), rules_hit(findings)
+    assert "alloc-in-loop" in rules_hit(findings), rules_hit(findings)
+    # The allocation finding lands inside the loop body, where the
+    # statement starts, not on the closing line.
+    alloc = [f for f in findings if f.rule == "alloc-in-loop"][0]
+    assert alloc.line == 5, alloc.line
+
+
+def test_allow_above_loop_header_suppresses_body_finding():
+    # Old scanner: annotating the loop header did nothing because the
+    # finding line was inside the body.
+    src = (
+        "void f() {\n"
+        "  // lint: allow(alloc-in-loop): pool warm-up, bounded\n"
+        "  for (int i = 0; i < 4; ++i) {\n"
+        "    auto p = std::make_unique<int>(i);\n"
+        "  }\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"alloc-in-loop"})
+    assert not active(findings), [f.render() for f in active(findings)]
+    assert any(f.suppressed == "allow" for f in findings)
+
+
+def test_allow_on_multiline_loop_header_line():
+    src = (
+        "void f() {\n"
+        "  for (int i = 0;\n"
+        "       i < 4; ++i) {  // lint: allow(alloc-in-loop)\n"
+        "    auto p = std::make_unique<int>(i);\n"
+        "  }\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"alloc-in-loop"})
+    assert not active(findings), [f.render() for f in active(findings)]
+
+
+# --- suppression placement ---------------------------------------------------
+
+def test_allow_in_comment_block_above():
+    # A multi-line rationale keeps the allow() effective even when it sits
+    # several comment lines above the finding.
+    src = (
+        "void f() {\n"
+        "  // lint: allow(std-function): stored once at setup, never\n"
+        "  // invoked per simulated event; see DESIGN.md section 15\n"
+        "  std::function<void()> cb;\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"std-function"})
+    assert not active(findings), [f.render() for f in active(findings)]
+
+
+def test_allow_wrong_rule_does_not_suppress():
+    src = (
+        "void f() {\n"
+        "  // lint: allow(alloc-in-loop)\n"
+        "  std::function<void()> cb;\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"std-function"})
+    assert len(active(findings)) == 1
+
+
+def test_allow_separated_by_code_does_not_suppress():
+    # The comment block must be contiguous and directly above.
+    src = (
+        "void f() {\n"
+        "  // lint: allow(std-function)\n"
+        "  int x = 0;\n"
+        "  std::function<void()> cb;\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"std-function"})
+    assert len(active(findings)) == 1
+
+
+# --- lexing ------------------------------------------------------------------
+
+def test_comments_and_strings_do_not_match():
+    src = (
+        "void f() {\n"
+        "  // std::function<void()> in a comment\n"
+        "  /* std::map<int,int> in a block comment */\n"
+        "  const char* s = \"std::function<void()>\";\n"
+        "  const char* r = R\"(std::map<int,int>)\";\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"std-function", "node-container"})
+    assert not findings, [f.render() for f in findings]
+
+
+def test_braceless_range_for_is_flagged():
+    src = (
+        "#include \"common/flat_hash.hpp\"\n"
+        "FlatMap<int, int> m_;\n"
+        "int f() {\n"
+        "  int n = 0;\n"
+        "  for (const auto& kv : m_) n += kv.second;\n"
+        "  return n;\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"nondet-iteration"})
+    assert len(active(findings)) == 1, [f.render() for f in findings]
+    assert active(findings)[0].line == 5
+
+
+def test_iterator_loop_is_flagged():
+    src = (
+        "#include \"common/flat_hash.hpp\"\n"
+        "FlatMap<int, int> m_;\n"
+        "int f() {\n"
+        "  int n = 0;\n"
+        "  for (auto it = m_.begin(); it != m_.end(); ++it) n += it->second;\n"
+        "  return n;\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"nondet-iteration"})
+    assert len(active(findings)) == 1, [f.render() for f in findings]
+
+
+def test_sorted_drain_pattern_with_allow_is_clean():
+    src = (
+        "#include \"common/flat_hash.hpp\"\n"
+        "FlatMap<int, int> m_;\n"
+        "void f(std::vector<int>& keys) {\n"
+        "  // lint: allow(nondet-iteration): order laundered by the sort below\n"
+        "  for (const auto& kv : m_) keys.push_back(kv.first);\n"
+        "  std::sort(keys.begin(), keys.end());\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"nondet-iteration"})
+    assert not active(findings), [f.render() for f in active(findings)]
+
+
+# --- baseline ----------------------------------------------------------------
+
+def test_baseline_suppresses_and_reports_stale():
+    src = (
+        "void f() {\n"
+        "  std::function<void()> cb;\n"
+        "}\n"
+    )
+    # First run with no baseline to learn the finding's context key.
+    findings, _ = run_on(src, only={"std-function"})
+    assert len(active(findings)) == 1
+    ctx = findings[0].context
+    baseline = {"findings": [
+        {"rule": "std-function", "path": "src/sim/fixture.cpp",
+         "context": ctx, "count": 1},
+        {"rule": "std-function", "path": "src/sim/gone.cpp",
+         "context": "std::function<void()> old;", "count": 1},
+    ]}
+    findings, eng = run_on(src, only={"std-function"}, baseline=baseline)
+    assert not active(findings)
+    assert findings[0].suppressed == "baseline"
+    assert len(eng.stale_baseline) == 1
+    assert eng.stale_baseline[0]["path"] == "src/sim/gone.cpp"
+
+
+def test_baseline_count_budget():
+    # Two identical statements, baseline budget of one: one suppressed,
+    # one active.
+    src = (
+        "void f() {\n"
+        "  std::function<void()> cb;\n"
+        "}\n"
+        "void g() {\n"
+        "  std::function<void()> cb;\n"
+        "}\n"
+    )
+    findings, _ = run_on(src, only={"std-function"})
+    assert len(active(findings)) == 2
+    ctx = findings[0].context
+    baseline = {"findings": [
+        {"rule": "std-function", "path": "src/sim/fixture.cpp",
+         "context": ctx, "count": 1},
+    ]}
+    findings, _ = run_on(src, only={"std-function"}, baseline=baseline)
+    assert len(active(findings)) == 1
+
+
+# --- scoping -----------------------------------------------------------------
+
+def test_rule_scoping_by_dir_and_file():
+    src = "std::function<void()> cb;\n"
+    # runner/ is outside every hot/determinism dir.
+    findings, _ = run_on(src, dest="src/runner/fixture.cpp",
+                         only={"std-function"})
+    assert not findings
+    # growth-in-loop only applies to the scheduler files.
+    grow = (
+        "void f(std::vector<int>& v) {\n"
+        "  for (int i = 0; i < 4; ++i) {\n"
+        "    v.push_back(i);\n"
+        "  }\n"
+        "}\n"
+    )
+    findings, _ = run_on(grow, dest="src/sim/fixture.cpp",
+                         only={"growth-in-loop"})
+    assert not findings
+    findings, _ = run_on(grow, dest="src/sim/scheduler.cpp",
+                         only={"growth-in-loop"})
+    assert len(active(findings)) == 1
+
+
+def main() -> int:
+    tests = [(n, f) for n, f in sorted(globals().items())
+             if n.startswith("test_") and callable(f)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as e:
+            failed += 1
+            print(f"FAIL {name}: {e}")
+    print(f"{len(tests) - failed}/{len(tests)} engine tests passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
