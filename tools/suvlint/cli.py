@@ -85,6 +85,11 @@ def main(argv=None) -> int:
     else:
         baseline = root / "tools" / "suvlint" / "baseline.json"
 
+    if args.write_baseline and baseline is None:
+        sys.stderr.write("suvlint: --write-baseline needs a baseline file; "
+                         "drop `--baseline none` or pass --baseline FILE\n")
+        return 2
+
     scan = args.paths if args.paths else ["src"]
     eng = Engine(root, rules, scan, baseline)
     findings = eng.run()

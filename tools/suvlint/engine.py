@@ -100,10 +100,17 @@ class Rule:
 class AnalysisContext:
     """Cross-file facts the rules share, built in one pre-pass."""
     models: dict[str, FileModel] = field(default_factory=dict)
-    # identifier -> why it's order-unstable ("FlatMap", "std::unordered_map",
-    # ...): variables, members and accessor functions whose declared /
-    # returned type iterates in hash order.
-    nondet_symbols: dict[str, str] = field(default_factory=dict)
+    # path -> identifier -> why it's order-unstable ("FlatMap",
+    # "std::unordered_map", ...): variables and data members declared in
+    # that file whose type iterates in hash order. Scoped per file -- plus
+    # the sibling header/source of the same stem, via nondet_why() -- so a
+    # member name in one file cannot flag an unrelated identifier elsewhere
+    # (same rationale as float_symbols).
+    nondet_symbols: dict[str, dict[str, str]] = field(default_factory=dict)
+    # identifier -> why, for accessor *functions* returning (a reference
+    # to) a hash-ordered container; call sites are cross-file by nature,
+    # so function names stay global.
+    nondet_accessors: dict[str, str] = field(default_factory=dict)
     # path -> identifier -> "float"/"double" for declared floating
     # accumulators (per file: accumulators are local names, and a global
     # table would let a `double n` in one file taint a `uint64_t n` in
@@ -112,6 +119,21 @@ class AnalysisContext:
     # struct names whose bytes feed hashes, memcmp or trace/result
     # serialization (uninit-member scope).
     serialized_structs: set[str] = field(default_factory=set)
+
+    def nondet_why(self, path: str, name: str) -> str | None:
+        """Why `name` iterates in hash order when referenced from `path`,
+        or None. Checks the file's own declarations, then its sibling
+        header/source (same stem -- members live in foo.hpp, loops in
+        foo.cpp), then the global accessor-function table."""
+        why = self.nondet_symbols.get(path, {}).get(name)
+        if why:
+            return why
+        stem = path.rsplit(".", 1)[0]
+        for other, syms in self.nondet_symbols.items():
+            if other != path and other.rsplit(".", 1)[0] == stem \
+                    and name in syms:
+                return syms[name]
+        return self.nondet_accessors.get(name)
 
 
 class Engine:
@@ -270,6 +292,7 @@ def _template_close(text: str, open_idx: int) -> int:
 
 def _harvest_symbols(model: FileModel, ctx: AnalysisContext) -> None:
     floats = ctx.float_symbols.setdefault(model.path, {})
+    nondet = ctx.nondet_symbols.setdefault(model.path, {})
     for st in model.statements:
         text = st.text
         # Hash-ordered container declarations: record the declared name --
@@ -297,7 +320,12 @@ def _harvest_symbols(model: FileModel, ctx: AnalysisContext) -> None:
             if not type_name.startswith("std::") and \
                     type_name.startswith("unordered"):
                 type_name = "std::" + type_name
-            ctx.nondet_symbols[name] = type_name
+            # `name(` is an accessor function (cross-file by nature);
+            # anything else is a variable/member, scoped to this file.
+            if rest[dm.end():].lstrip().startswith("("):
+                ctx.nondet_accessors[name] = type_name
+            else:
+                nondet[name] = type_name
         for m in _FLOAT_DECL_RE.finditer(text):
             floats[m.group(2)] = m.group(1)
         for m in _MEMCMP_SIZEOF_RE.finditer(text):

@@ -88,7 +88,9 @@ def strip_comments_and_strings(text: str) -> str:
                 i += 1
         else:  # "..." or '...'
             if ch == "\\":
-                out.append("  ")
+                # A line-continuation backslash escapes a newline: keep the
+                # newline so every later line maps to the same number.
+                out.append(" " + ("\n" if nxt == "\n" else " "))
                 i += 2
             elif ch == mode:
                 mode = None

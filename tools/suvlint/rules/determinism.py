@@ -61,7 +61,7 @@ class NondetIterationRule(Rule):
             m = _LAST_IDENT_RE.search(lp.range_text)
             if not m:
                 continue
-            why = ctx.nondet_symbols.get(m.group(1))
+            why = ctx.nondet_why(model.path, m.group(1))
             if why:
                 yield (lp.header_first_line,
                        f"range-for over `{m.group(1)}` ({why}) iterates in "
@@ -76,7 +76,7 @@ class NondetIterationRule(Rule):
             if not (is_loop_stmt or _FOR_EACH_RE.search(st.text)):
                 continue
             for m in _BEGIN_RE.finditer(st.text):
-                why = ctx.nondet_symbols.get(m.group(1))
+                why = ctx.nondet_why(model.path, m.group(1))
                 if why:
                     yield (st.line_of_offset(m.start()),
                            f"iteration via `{m.group(1)}.begin()` ({why}) "
