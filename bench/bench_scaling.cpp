@@ -9,11 +9,14 @@
 // app cross-product through the pool. A machine-readable summary lands in
 // BENCH_scaling.json.
 //
-// Usage: bench_scaling [scale] [--jobs N] [--smoke] [--check]
+// Usage: bench_scaling [scale] [--jobs N] [--smoke] [--check] [--no-check]
 //            [--trace out.json] [--metrics]
 //   --smoke: tiny scale, identity check plus a seed-shape audit of every
 //            RunResult field block; exits non-zero on any violation (used
-//            as the ctest parallel smoke target).
+//            as the ctest parallel smoke target). Smoke runs CHECK ON BY
+//            DEFAULT: every smoke simulation is oracle-verified and
+//            structurally audited (pass --no-check to opt out, e.g. when
+//            timing the smoke sweep itself).
 //   --check: run every simulation with the correctness checker enabled
 //            (history oracle + structural audits; see src/check). Requires
 //            a build with SUVTM_CHECK=ON to have any effect; any violation
@@ -27,6 +30,7 @@
 #include <string>
 
 #include "api/api.hpp"
+#include "check/check.hpp"
 #include "obs/chrome_trace.hpp"
 #include "runner/cli.hpp"
 #include "runner/tables.hpp"
@@ -132,7 +136,10 @@ bool pdes_identity_check(runner::BenchReport& report, bool check) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const runner::Cli cli = runner::Cli::parse(argc, argv);
+  runner::Cli cli = runner::Cli::parse(argc, argv);
+  // Always-on correctness: smoke sweeps run checked unless --no-check.
+  // (Cli::parse already cleared cli.check if --no-check was given.)
+  if (cli.smoke && !cli.no_check && check::kHooksCompiled) cli.check = true;
   const unsigned jobs = cli.jobs;
   const bool smoke = cli.smoke;
   const bool check = cli.check;

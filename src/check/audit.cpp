@@ -108,8 +108,9 @@ std::vector<std::string> audit_coherence(const mem::MemorySystem& mem) {
     });
   }
 
-  // Directory -> L1 direction.
-  dir.for_each([&](LineAddr l, const mem::DirEntry& e) {
+  // Directory -> L1 direction. Hash-order walk: the sorted-out return
+  // below launders the visitation order before any report can see it.
+  dir.for_each_unordered([&](LineAddr l, const mem::DirEntry& e) {
     if (e.owner != kNoCore) {
       if (e.owner >= cores) {
         out.push_back(format("coherence: line %#llx has out-of-range owner %u",
@@ -144,6 +145,10 @@ std::vector<std::string> audit_coherence(const mem::MemorySystem& mem) {
       }
     }
   });
+  // Deterministic report: the L1 walks visit dense slot order but the
+  // directory walk above is hash-ordered; sorting the collected messages
+  // makes the emitted set and order a function of simulated state only.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -169,7 +174,29 @@ std::vector<std::string> audit_signatures(const htm::HtmSystem& htm) {
   };
   for (CoreId c = 0; c < htm.num_cores(); ++c) {
     const htm::Txn& t = htm.txn(c);
-    if (t.active()) check_sets(t, "running");
+    if (!t.active()) continue;
+    check_sets(t, "running");
+    // Grant-filter chain: the conflict manager's bit-sliced columns must
+    // stay a superset of every live transaction's sets -- check()'s fast
+    // path and the checker's grant-audit filter both rest on "column miss
+    // implies signature miss implies exact-set miss".
+    const auto& cm = htm.conflicts();
+    for (LineAddr l : t.read_lines) {
+      if (!(cm.column_mask(l, false) >> c & 1)) {
+        out.push_back(format(
+            "signature: core %u's read line %#llx absent from the conflict "
+            "manager's read columns",
+            c, static_cast<unsigned long long>(l)));
+      }
+    }
+    for (LineAddr l : t.write_lines) {
+      if (!(cm.column_mask(l, true) >> c & 1)) {
+        out.push_back(format(
+            "signature: core %u's written line %#llx absent from the "
+            "conflict manager's write columns",
+            c, static_cast<unsigned long long>(l)));
+      }
+    }
   }
   htm.for_each_suspended([&](CoreId core, const htm::Txn& t) {
     check_sets(t, "suspended");
@@ -336,6 +363,52 @@ std::vector<std::string> audit_suv(const vm::SuvVm& suv,
           static_cast<unsigned long long>(l)));
     }
   });
+  return out;
+}
+
+std::vector<std::string> audit_abort(const htm::HtmSystem& htm,
+                                     const vm::SuvVm* suv, CoreId core) {
+  std::vector<std::string> out;
+  const htm::Txn& t = htm.txn(core);
+  // The hook fires before the descriptor resets, so the sets still
+  // describe the aborted attempt; a signature that lost one of them was
+  // corrupted sometime during that attempt.
+  for (LineAddr l : t.read_lines) {
+    if (!t.read_sig.test(l)) {
+      out.push_back(format(
+          "signature: aborting txn on core %u read line %#llx absent from "
+          "its read signature",
+          core, static_cast<unsigned long long>(l)));
+    }
+  }
+  for (LineAddr l : t.write_lines) {
+    if (!t.write_sig.test(l)) {
+      out.push_back(format(
+          "signature: aborting txn on core %u wrote line %#llx absent from "
+          "its write signature",
+          core, static_cast<unsigned long long>(l)));
+    }
+  }
+  if (suv != nullptr) {
+    // The abort walk must have flipped or freed every transient entry the
+    // attempt owned; its write set names exactly the lines it redirected.
+    // (A parked transaction from this core cannot own any of these lines:
+    // the suspended summaries would have stalled the aborted attempt's
+    // writes to them.)
+    const auto& table = suv->table();
+    for (LineAddr l : t.write_lines) {
+      const suv::RedirectEntry* e = table.find(l);
+      if (e != nullptr &&
+          (e->state == suv::EntryState::kTxnRedirect ||
+           e->state == suv::EntryState::kTxnUnredirect) &&
+          e->owner == core) {
+        out.push_back(format(
+            "suv: transient entry for %#llx still owned by core %u after "
+            "its abort completed",
+            static_cast<unsigned long long>(l), core));
+      }
+    }
+  }
   return out;
 }
 

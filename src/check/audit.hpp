@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace suvtm::mem {
 class MemorySystem;
 }
@@ -41,6 +43,15 @@ std::vector<std::string> audit_signatures(const htm::HtmSystem& htm);
 /// table levels cache only live entries.
 std::vector<std::string> audit_suv(const vm::SuvVm& suv,
                                    const htm::HtmSystem& htm);
+
+/// Abort-scoped audit, O(aborted footprint): runs after every abort
+/// completes, while the descriptor still holds the attempt's sets. Checks
+/// the aborting core's sets are still inside its signatures and -- for SUV
+/// -- that no transient redirect it owned survived the abort walk. The
+/// global structure walks stay on the sampled commit path and finalize();
+/// per abort they cost a full table/directory sweep.
+std::vector<std::string> audit_abort(const htm::HtmSystem& htm,
+                                     const vm::SuvVm* suv, CoreId core);
 
 /// All of the above (suv audits skipped when `suv` is nullptr).
 std::vector<std::string> audit_all(const mem::MemorySystem& mem,

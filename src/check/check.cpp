@@ -1,10 +1,10 @@
 #include "check/check.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "check/audit.hpp"
 #include "check/format.hpp"
-#include "htm/htm_system.hpp"
 #include "mem/memory_system.hpp"
 #include "sim/config.hpp"
 #include "vm/dyntm.hpp"
@@ -30,59 +30,52 @@ vm::SuvVm* find_suv_backend(htm::HtmSystem& htm) {
 Checker::Checker(const sim::SimConfig& cfg, mem::MemorySystem& mem,
                  htm::HtmSystem& htm)
     : cfg_(cfg), mem_(mem), htm_(htm), suv_(find_suv_backend(htm)),
-      oracle_(htm.num_cores()), pending_writes_(htm.num_cores()),
-      suspended_writes_(htm.num_cores()) {}
+      oracle_(htm.num_cores(), cfg.check.reference) {}
 
 void Checker::on_run_start() {
-  // Record every nonzero workload word (pool pages hold SUV-internal
-  // versions, not workload state; they are exempt from the sweep).
+  // Copy every workload page wholesale (pool pages hold SUV-internal
+  // versions, not workload state; they are exempt from the sweep). Pages
+  // allocated after this point read as zero at run start, which is exactly
+  // what a snapshot miss yields in the sweep.
   snapshot_.clear();
   mem_.backing().for_each_page_id([&](std::uint64_t page) {
-    const Addr base = page * kPageBytes;
-    if (base >= kRedirectPoolBase) return;
-    for (Addr a = base; a < base + kPageBytes; a += kWordBytes) {
-      const std::uint64_t v = mem_.load_word(a);
-      if (v != 0) snapshot_.emplace(a, v);
-    }
+    if (page * kPageBytes >= kRedirectPoolBase) return;
+    const std::uint64_t* words = mem_.backing().page_words(page);
+    auto copy = std::make_unique<SnapshotPage>();
+    std::copy(words, words + copy->size(), copy->begin());
+    snapshot_.emplace(page, std::move(copy));
   });
   snapshot_taken_ = true;
 }
 
 void Checker::on_commit_done(CoreId c, Cycle now, bool lazy) {
   oracle_.on_commit_done(c, now, lazy);
-  for (Addr w : pending_writes_[c]) committed_writes_.insert(w);
-  pending_writes_[c].clear();
   ++commits_seen_;
-  if (cfg_.check.audit_interval != 0 &&
-      commits_seen_ % cfg_.check.audit_interval == 0) {
+  if (cfg_.check.audit_period != 0 &&
+      commits_seen_ % cfg_.check.audit_period == 0) {
     run_audits();
   }
 }
 
 void Checker::on_abort_done(CoreId c) {
   oracle_.on_abort_done(c);
-  pending_writes_[c].clear();
+  if (cfg_.check.audit_on_abort) run_abort_audits(c);
 }
 
 void Checker::on_suspend(CoreId c) {
+  // Fires before HtmSystem resets the suspended transaction's core-local
+  // state. (The suspended-summary signatures take over conflict filtering,
+  // and on_access_granted audits suspended footprints with the full scan.)
   oracle_.on_suspend(c);
-  suspended_writes_[c].push_back(std::move(pending_writes_[c]));
-  pending_writes_[c].clear();
 }
 
 void Checker::on_resume(CoreId c) {
+  // Fires after HtmSystem restored the parked transaction into the core.
   oracle_.on_resume(c);
-  if (suspended_writes_[c].empty()) {
-    violation(format("checker: resume on core %u without a parked attempt", c));
-    return;
-  }
-  // HtmSystem restores the core's FIRST suspended transaction.
-  pending_writes_[c] = std::move(suspended_writes_[c].front());
-  suspended_writes_[c].erase(suspended_writes_[c].begin());
 }
 
-void Checker::on_access_granted(CoreId c, LineAddr line, bool exclusive,
-                                bool requester_lazy) {
+void Checker::grant_audit_slow(CoreId c, LineAddr line, bool exclusive,
+                               bool requester_lazy) {
   // The conflict manager filters on signatures, which are supersets of the
   // exact sets below: a granted access that intersects an exact set means
   // isolation itself broke, not just the filter. Doomed transactions are
@@ -133,10 +126,29 @@ void Checker::run_audits() {
   for (auto& msg : audit_all(mem_, htm_, suv_)) violation(std::move(msg));
 }
 
+void Checker::run_abort_audits(CoreId c) {
+  // Aborts are where version-management bugs surface, so every abort gets
+  // audited -- scoped to the aborting attempt (O(footprint)). The global
+  // structure walks stay on the sampled commit path and finalize(): per
+  // abort their full table/directory sweeps dominated the whole run.
+  ++audits_run_;
+  for (auto& msg : audit_abort(htm_, suv_, c)) violation(std::move(msg));
+}
+
 void Checker::finalize() {
-  oracle_.finalize([this](Addr a) {
-    return mem_.load_word(htm_.vm().debug_resolve(kNoCore, a));
-  });
+  // Redirection is line-granular (debug_resolve preserves the offset
+  // within the line), so both sweeps resolve once per line and read the
+  // line's words directly.
+  oracle_.finalize(
+      [this, last_line = ~LineAddr{0}, delta = Addr{0}](Addr a) mutable {
+        const LineAddr line = line_of(a);
+        if (line != last_line) {
+          const Addr lb = line << kLineShift;
+          delta = htm_.vm().debug_resolve(kNoCore, lb) - lb;
+          last_line = line;
+        }
+        return mem_.load_word(a + delta);
+      });
   for (const std::string& v : oracle_.violations()) violation(v);
 
   // Untouched-word sweep: every workload word no committed or
@@ -148,20 +160,31 @@ void Checker::finalize() {
     mem_.backing().for_each_page_id([&](std::uint64_t page) {
       const Addr base = page * kPageBytes;
       if (base >= kRedirectPoolBase) return;
-      for (Addr a = base; a < base + kPageBytes; a += kWordBytes) {
-        if (committed_writes_.contains(a)) continue;
-        const auto it = snapshot_.find(a);
-        const std::uint64_t expect = it == snapshot_.end() ? 0 : it->second;
-        const std::uint64_t got =
-            mem_.load_word(htm_.vm().debug_resolve(kNoCore, a));
-        if (got != expect && swept_violations < 8) {
-          ++swept_violations;
-          violation(format(
-              "image: word %#llx was never committed-written yet changed "
-              "from %#llx to %#llx",
-              static_cast<unsigned long long>(a),
-              static_cast<unsigned long long>(expect),
-              static_cast<unsigned long long>(got)));
+      const auto snap_it = snapshot_.find(page);
+      const SnapshotPage* snap =
+          snap_it == snapshot_.end() ? nullptr : snap_it->second.get();
+      const ShadowStore::Page* replayed = oracle_.replay_page(page);
+      for (Addr lb = base; lb < base + kPageBytes; lb += kLineBytes) {
+        const Addr resolved = htm_.vm().debug_resolve(kNoCore, lb);
+        for (std::uint32_t w = 0; w < kWordsPerLine; ++w) {
+          const Addr a = lb + w * kWordBytes;
+          const auto i =
+              static_cast<std::uint32_t>((a & (kPageBytes - 1)) / kWordBytes);
+          if (replayed != nullptr &&
+              (replayed->written[i >> 6] >> (i & 63) & 1) != 0) {
+            continue;
+          }
+          const std::uint64_t expect = snap == nullptr ? 0 : (*snap)[i];
+          const std::uint64_t got = mem_.load_word(resolved + w * kWordBytes);
+          if (got != expect && swept_violations < 8) {
+            ++swept_violations;
+            violation(format(
+                "image: word %#llx was never committed-written yet changed "
+                "from %#llx to %#llx",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(expect),
+                static_cast<unsigned long long>(got)));
+          }
         }
       }
     });

@@ -10,11 +10,19 @@
 //     every other isolation-holding transaction (the signatures the
 //     conflict manager consults are supersets of those sets, so a granted
 //     access that intersects an exact set means isolation actually broke);
-//   - every `audit_interval`-th commit, plus finalize(), walks the
-//     coherence/signature/SUV structures for internal consistency;
+//   - every `audit_period`-th commit, plus every abort (audit_on_abort)
+//     and finalize(), walks the coherence/signature/SUV structures for
+//     internal consistency;
 //   - finalize() additionally sweeps the whole backing-store image against
 //     a snapshot taken at run start: words no committed access wrote must
 //     be unchanged (a broken abort restore shows up here).
+//
+// Hot-path layout: the grant audit short-circuits on the candidate mask
+// the conflict manager computed for this very access (see
+// on_access_granted below). Only a grant whose line collides with another
+// isolation holder's bit-sliced columns -- or any suspended transaction --
+// pays the full per-core scan, which keeps the doomed/lazy case analysis
+// in one (cold) place.
 //
 // Compile-time gating: the simulator's hook sites go through
 // SUVTM_CHECK_HOOK, which compiles to nothing unless the build sets
@@ -23,7 +31,9 @@
 // hook sites vanish.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -31,6 +41,7 @@
 #include "check/history.hpp"
 #include "common/flat_hash.hpp"
 #include "common/types.hpp"
+#include "htm/htm_system.hpp"
 
 #ifndef SUVTM_CHECK_ENABLED
 #define SUVTM_CHECK_ENABLED 0
@@ -49,9 +60,6 @@
 
 namespace suvtm::mem {
 class MemorySystem;
-}
-namespace suvtm::htm {
-class HtmSystem;
 }
 namespace suvtm::vm {
 class SuvVm;
@@ -98,8 +106,6 @@ class Checker {
   void on_write(CoreId c, bool in_tx, Addr word, std::uint64_t value,
                 Cycle now) {
     oracle_.on_write(c, in_tx, word, value, now);
-    if (in_tx) pending_writes_[c].push_back(word);
-    else committed_writes_.insert(word);
   }
   void on_commit_start(CoreId c, Cycle now) { oracle_.on_commit_start(c, now); }
   void on_commit_done(CoreId c, Cycle now, bool lazy);
@@ -109,8 +115,25 @@ class Checker {
 
   /// The conflict manager granted `c` access to `line`. Audits the grant
   /// against every other isolation holder's exact sets.
+  ///
+  /// First filter: the candidate mask the conflict manager itself computed
+  /// for this very access (the hook fires in the same event, right after
+  /// check()). Exact sets are subsets of the per-core signatures, which
+  /// are subsets of the bit-sliced columns, so a zero mask proves no live
+  /// transaction's sets can contain the line. That chain of supersets is
+  /// itself audited (audit_signatures validates signature vs exact set and
+  /// column vs signature every sampling period and at finalize), so a
+  /// filter bug cannot silently disarm the audit for a whole run -- and
+  /// the history oracle's conflict-ordering proof stays fully independent
+  /// of all of these structures.
   void on_access_granted(CoreId c, LineAddr line, bool exclusive,
-                         bool requester_lazy);
+                         bool requester_lazy) {
+    const std::uint64_t self = 1ull << c;
+    const auto& cm = htm_.conflicts();
+    if ((cm.grant_candidates() & ~self) == 0 && !cm.grant_suspended_possible())
+      return;
+    grant_audit_slow(c, line, exclusive, requester_lazy);
+  }
 
   // ---- results -------------------------------------------------------------
   const std::vector<std::string>& violations() const { return violations_; }
@@ -118,7 +141,10 @@ class Checker {
   std::uint64_t audits_run() const { return audits_run_; }
 
  private:
+  void grant_audit_slow(CoreId c, LineAddr line, bool exclusive,
+                        bool requester_lazy);
   void run_audits();
+  void run_abort_audits(CoreId c);
   void violation(std::string msg);
 
   const sim::SimConfig& cfg_;
@@ -127,15 +153,11 @@ class Checker {
   vm::SuvVm* suv_ = nullptr;  // discovered; nullptr for non-SUV schemes
 
   HistoryOracle oracle_;
-  /// Words written by the current attempt per core; promoted into
-  /// committed_writes_ at commit, discarded at abort. Suspended attempts
-  /// park theirs in suspended_writes_ (FIFO per core, matching HtmSystem).
-  std::vector<std::vector<Addr>> pending_writes_;
-  std::vector<std::vector<std::vector<Addr>>> suspended_writes_;
-  /// Every word some committed (or non-transactional) write touched; all
-  /// other words must still hold their run-start snapshot value at the end.
-  FlatSet<Addr> committed_writes_;
-  FlatMap<Addr, std::uint64_t> snapshot_;
+  /// Run-start image, kept as whole-page copies keyed by page id: the
+  /// snapshot build is a memcpy per allocated page and the untouched-word
+  /// sweep compares arrays instead of probing a per-word hash map.
+  using SnapshotPage = std::array<std::uint64_t, kPageBytes / kWordBytes>;
+  FlatMap<std::uint64_t, std::unique_ptr<SnapshotPage>> snapshot_;
   bool snapshot_taken_ = false;
   std::uint64_t commits_seen_ = 0;
   std::uint64_t audits_run_ = 0;

@@ -8,25 +8,29 @@
 
 namespace suvtm::check {
 
-HistoryOracle::HistoryOracle(std::uint32_t num_cores)
-    : staged_(num_cores), parked_(num_cores) {}
+HistoryOracle::HistoryOracle(std::uint32_t num_cores, bool reference)
+    : staged_(num_cores), parked_(num_cores), reference_(reference) {}
 
 void HistoryOracle::on_begin(CoreId c, Cycle now) {
   Staged& s = staged_[c];
   if (s.active) {
     violation(format("core %u: begin while a transaction is already staged", c));
+    if (s.committing) --committing_count_;
   }
   s.active = true;
   s.committing = false;
   s.begin_cycle = now;
   s.commit_start = 0;
-  s.accesses.clear();
+  s.run_line = kNoLine;
+  s.recs.clear(pool_);
+  s.runs.clear();
   s.frame_marks.clear();
-  s.touches.clear();
 }
 
 void HistoryOracle::on_frame_push(CoreId c) {
-  staged_[c].frame_marks.push_back(staged_[c].accesses.size());
+  Staged& s = staged_[c];
+  s.frame_marks.push_back(
+      {s.recs.size(), static_cast<std::uint32_t>(s.runs.size())});
 }
 
 void HistoryOracle::on_frame_pop(CoreId c) {
@@ -46,25 +50,19 @@ void HistoryOracle::on_frame_rollback(CoreId c) {
     return;
   }
   // The inner frame's version-state was undone, so its accesses vanish from
-  // the committed history. The touch map is rebuilt from the survivors: the
-  // rolled-back accesses must not seed conflict-direction checks.
-  s.accesses.resize(s.frame_marks.back());
-  rebuild_touches(s);
+  // the committed history (and must not seed conflict-direction checks):
+  // both the record stream and the touch-run stream roll back to the mark.
+  // The open access run is closed too -- its head may have been expunged,
+  // so a later same-line access must start a fresh run to keep its
+  // first-touch time.
+  s.recs.truncate(pool_, s.frame_marks.back().recs);
+  s.runs.resize(s.frame_marks.back().runs);
+  s.run_line = kNoLine;
 }
 
-void HistoryOracle::on_read(CoreId c, bool in_tx, Addr word,
-                            std::uint64_t value, Cycle now) {
-  record_access(c, in_tx, word, value, /*is_write=*/false, now);
-}
-
-void HistoryOracle::on_write(CoreId c, bool in_tx, Addr word,
-                             std::uint64_t value, Cycle now) {
-  record_access(c, in_tx, word, value, /*is_write=*/true, now);
-}
-
-void HistoryOracle::record_access(CoreId c, bool in_tx, Addr word,
-                                  std::uint64_t value, bool is_write,
-                                  Cycle now) {
+void HistoryOracle::record_slow(CoreId c, bool in_tx, Addr word,
+                                std::uint64_t value, bool is_write,
+                                Cycle now) {
   assert((word & (kWordBytes - 1)) == 0);
   if (in_tx) {
     Staged& s = staged_[c];
@@ -72,27 +70,24 @@ void HistoryOracle::record_access(CoreId c, bool in_tx, Addr word,
       violation(format("core %u: transactional access without begin", c));
       return;
     }
-    s.accesses.push_back({word, value, now, is_write});
-    touch(s, line_of(word), is_write, now);
+    // try_append found the tail page full (or absent): chain a fresh one.
+    // (The touch run was already noted by on_access.)
+    s.recs.append_new_page(pool_, AccessRec::make(word, value, now, is_write));
     return;
   }
   // Non-transactional accesses are singleton transactions serialized at
-  // their own (isolation-checked) issue cycle.
-  pending_nontx_.push_back(
-      {make_key(now, /*lazy=*/false), {word, value, now, is_write}});
-  drain(now);
-}
-
-void HistoryOracle::touch(Staged& s, LineAddr line, bool is_write, Cycle now) {
-  Touch& t = s.touches[line];
-  Cycle& slot = is_write ? t.first_write : t.first_read;
-  if (now < slot) slot = now;
-}
-
-void HistoryOracle::rebuild_touches(Staged& s) {
-  s.touches.clear();
-  for (const AccessRec& a : s.accesses) {
-    touch(s, line_of(a.word), a.is_write, a.cycle);
+  // their own (isolation-checked) issue cycle. Cycles arrive monotonically,
+  // so the FIFO is key-sorted by construction.
+  nontx_q_.push_back(AccessRec::make(word, value, now, is_write));
+  if (reference_) return;
+  // Only previously queued work can be behind the horizon (this access's
+  // own key equals the no-committer horizon), so drain only when something
+  // is actually due.
+  const std::uint64_t k = make_key(now, /*lazy=*/false);
+  if ((nontx_head_ < nontx_q_.size() &&
+       make_key(nontx_q_[nontx_head_].cycle, false) < k) ||
+      (!pending_txns_.empty() && pending_txns_.front().key < k)) {
+    drain(now);
   }
 }
 
@@ -102,6 +97,7 @@ void HistoryOracle::on_commit_start(CoreId c, Cycle now) {
     violation(format("core %u: commit start without begin", c));
     return;
   }
+  if (!s.committing) ++committing_count_;
   s.committing = true;
   s.commit_start = now;
 }
@@ -115,6 +111,7 @@ void HistoryOracle::on_commit_done(CoreId c, Cycle now, bool lazy) {
   seal(c, now, lazy);
   s.active = false;
   s.committing = false;
+  --committing_count_;
   drain(now);
 }
 
@@ -122,14 +119,19 @@ void HistoryOracle::on_abort_done(CoreId c) {
   // Aborted attempts leave no trace in the committed history; the version
   // manager's restore work is validated by the final-state comparison.
   Staged& s = staged_[c];
+  if (s.committing) --committing_count_;
   s.active = false;
   s.committing = false;
-  s.accesses.clear();
+  s.run_line = kNoLine;
+  s.recs.clear(pool_);
+  s.runs.clear();
   s.frame_marks.clear();
-  s.touches.clear();
 }
 
 void HistoryOracle::on_suspend(CoreId c) {
+  // The horizon only scans staged_ (parity with resume restoring the
+  // count): a parked committer rejoins the committing census on resume.
+  if (staged_[c].committing) --committing_count_;
   parked_[c].push_back(std::move(staged_[c]));
   staged_[c] = Staged{};
 }
@@ -141,9 +143,11 @@ void HistoryOracle::on_resume(CoreId c) {
   }
   if (staged_[c].active) {
     violation(format("core %u: resume while another transaction is staged", c));
+    if (staged_[c].committing) --committing_count_;
   }
   staged_[c] = std::move(parked_[c].front());
   parked_[c].erase(parked_[c].begin());
+  if (staged_[c].committing) ++committing_count_;
 }
 
 void HistoryOracle::seal(CoreId c, Cycle now, bool lazy) {
@@ -157,30 +161,63 @@ void HistoryOracle::seal(CoreId c, Cycle now, bool lazy) {
   w.key = key;
   w.seq = seq;
   w.begin_cycle = s.begin_cycle;
-  w.release_cycle = now;  // isolation drops when the commit completes
   w.lazy = lazy;
-  w.touches.reserve(s.touches.size());
-  // lint: allow(nondet-iteration): touches are sorted by line right below
-  for (const auto& kv : s.touches) {
-    // A lazy transaction's writes only become visible at publish, so that
-    // is their effective conflict time regardless of when they were issued
-    // (buffered or SUV-redirected, they were invisible until now).
-    const Cycle write_eff =
-        (kv.second.first_write == kNever) ? kNever : (lazy ? now : kv.second.first_write);
-    w.touches.push_back({kv.first, kv.second.first_read, write_eff});
+  // Recycle a pruned window's touch capacity instead of allocating.
+  if (!touch_pool_.empty()) {
+    w.touches = std::move(touch_pool_.back());
+    touch_pool_.pop_back();
+    w.touches.clear();
   }
-  std::sort(w.touches.begin(), w.touches.end(),
-            [](const TouchRec& a, const TouchRec& b) { return a.line < b.line; });
+  // The recording hook run-compressed the touch stream as it recorded
+  // (one entry per maximal same-line same-kind access run, stamped with
+  // the run's first cycle), so summarizing a footprint is one pass over
+  // the short run stream -- the full record stream is never re-walked; it
+  // goes straight to replay. Runs arrive in access order, so min-merging
+  // per line recovers exact first-touch times. A lazy transaction's
+  // writes only become visible at publish, so that is their effective
+  // conflict time regardless of when they were issued (buffered or
+  // SUV-redirected, they were invisible until now).
+  WinSig sig;
+  for (const TouchRun& r : s.runs) {
+    auto it = std::lower_bound(
+        w.touches.begin(), w.touches.end(), r.line,
+        [](const TouchRec& t, LineAddr l) { return t.line < l; });
+    if (it == w.touches.end() || it->line != r.line) {
+      it = w.touches.insert(it, {r.line, kNever, kNever});
+      sig.rw.add(r.line);
+    }
+    if (r.is_write) {
+      const Cycle eff = lazy ? now : r.cycle;
+      if (eff < it->write) it->write = eff;
+      sig.wr.add(r.line);
+    } else {
+      if (r.cycle < it->read) it->read = r.cycle;
+    }
+  }
+  s.runs.clear();
+  s.run_line = kNoLine;
 
-  check_window_conflicts(w);
-  window_.push_back(std::move(w));
-  prune_window(now);
+  if (!w.touches.empty()) {
+    check_window_conflicts(w, sig);
+    window_sig_union_.rw.merge(sig.rw);
+    window_sig_union_.wr.merge(sig.wr);
+    window_.push_back(std::move(w));
+    window_release_.push_back(now);  // isolation drops when commit completes
+    window_sigs_.push_back(sig);
+    // Pruning exists to bound memory, not for correctness: the binary
+    // search in check_window_conflicts already skips released-before-begin
+    // windows, so compaction can wait until the list is worth compacting.
+    if (window_.size() >= 64) prune_window(now);
+  } else if (w.touches.capacity() != 0) {
+    // Touch-free transaction (every frame rolled back): it can never
+    // conflict, so no window is retained.
+    touch_pool_.push_back(std::move(w.touches));
+  }
 
   // Queue the accesses for serialization-order replay. Keys can arrive out
   // of order (an eager transaction seals at commit *done* but serializes at
   // commit *start*), so insert in sorted position from the back.
-  PendingTxn p{key, seq, std::move(s.accesses)};
-  s.accesses = {};
+  PendingTxn p{key, seq, std::move(s.recs)};
   auto it = pending_txns_.end();
   while (it != pending_txns_.begin()) {
     auto prev = std::prev(it);
@@ -190,54 +227,73 @@ void HistoryOracle::seal(CoreId c, Cycle now, bool lazy) {
   pending_txns_.insert(it, std::move(p));
 }
 
-void HistoryOracle::check_window_conflicts(const SealedWindow& b) {
-  for (const SealedWindow& a : window_) {
-    if (a.release_cycle <= b.begin_cycle) continue;  // disjoint: trivially ordered
-    const bool a_first = a.key < b.key || (a.key == b.key && a.seq < b.seq);
-    const SealedWindow& f = a_first ? a : b;
-    const SealedWindow& s = a_first ? b : a;
-    // Merge the line-sorted touch lists.
-    std::size_t i = 0, j = 0;
-    while (i < f.touches.size() && j < s.touches.size()) {
-      const TouchRec& ft = f.touches[i];
-      const TouchRec& st = s.touches[j];
-      if (ft.line < st.line) {
-        ++i;
-      } else if (st.line < ft.line) {
-        ++j;
-      } else {
-        // Every conflicting access pair must run in serialization order;
-        // ties are unorientable within a cycle and are skipped.
-        if (ft.write != kNever && st.write != kNever && st.write < ft.write) {
-          violation(format("conflict order: line %#" PRIx64
-                           " w-w: txn seq %" PRIu64 " (key %" PRIu64
-                           ") wrote at %" PRIu64 " after txn seq %" PRIu64
-                           " (key %" PRIu64 ") wrote at %" PRIu64
-                           " despite serializing first",
-                           addr_of_line(ft.line), f.seq, f.key, ft.write,
-                           s.seq, s.key, st.write));
-        }
-        if (ft.write != kNever && st.read != kNever && st.read < ft.write) {
-          violation(format("conflict order: line %#" PRIx64
-                           " w-r: txn seq %" PRIu64 " (key %" PRIu64
-                           ") read at %" PRIu64 " before txn seq %" PRIu64
-                           " (key %" PRIu64 ") wrote at %" PRIu64
-                           " despite serializing after it",
-                           addr_of_line(ft.line), s.seq, s.key, st.read,
-                           f.seq, f.key, ft.write));
-        }
-        if (ft.read != kNever && st.write != kNever && st.write < ft.read) {
-          violation(format("conflict order: line %#" PRIx64
-                           " r-w: txn seq %" PRIu64 " (key %" PRIu64
-                           ") wrote at %" PRIu64 " before txn seq %" PRIu64
-                           " (key %" PRIu64 ") read at %" PRIu64
-                           " despite serializing after it",
-                           addr_of_line(ft.line), s.seq, s.key, st.write,
-                           f.seq, f.key, ft.read));
-        }
-        ++i;
-        ++j;
+void HistoryOracle::check_window_conflicts(const SealedWindow& b,
+                                           const WinSig& b_sig) {
+  // No window wrote a line b touched, and b wrote no line any window
+  // touched: no pair can carry a conflict, skip the scan outright.
+  if (!window_sig_union_.conflicts(b_sig)) return;
+  // Windows are appended in release order (simulated time is nondecreasing
+  // across seals) and prune_window compacts in place, so window_release_
+  // stays sorted: binary-search past everything that released before b
+  // began instead of skipping it one compare at a time.
+  const std::size_t first = static_cast<std::size_t>(
+      std::upper_bound(window_release_.begin(), window_release_.end(),
+                       b.begin_cycle) -
+      window_release_.begin());
+  for (std::size_t i = first; i < window_.size(); ++i) {
+    // A violating line must be written by one side and touched by the
+    // other; read-only sharing never pays the merge.
+    if (!window_sigs_[i].conflicts(b_sig)) continue;
+    check_window_pair(window_[i], b);
+  }
+}
+
+void HistoryOracle::check_window_pair(const SealedWindow& a,
+                                      const SealedWindow& b) {
+  const bool a_first = a.key < b.key || (a.key == b.key && a.seq < b.seq);
+  const SealedWindow& f = a_first ? a : b;
+  const SealedWindow& sw = a_first ? b : a;
+  // Merge the line-sorted touch lists.
+  std::size_t i = 0, j = 0;
+  while (i < f.touches.size() && j < sw.touches.size()) {
+    const TouchRec& ft = f.touches[i];
+    const TouchRec& st = sw.touches[j];
+    if (ft.line < st.line) {
+      ++i;
+    } else if (st.line < ft.line) {
+      ++j;
+    } else {
+      // Every conflicting access pair must run in serialization order;
+      // ties are unorientable within a cycle and are skipped.
+      if (ft.write != kNever && st.write != kNever && st.write < ft.write) {
+        violation(format("conflict order: line %#" PRIx64
+                         " w-w: txn seq %" PRIu64 " (key %" PRIu64
+                         ") wrote at %" PRIu64 " after txn seq %" PRIu64
+                         " (key %" PRIu64 ") wrote at %" PRIu64
+                         " despite serializing first",
+                         addr_of_line(ft.line), f.seq, f.key, ft.write,
+                         sw.seq, sw.key, st.write));
       }
+      if (ft.write != kNever && st.read != kNever && st.read < ft.write) {
+        violation(format("conflict order: line %#" PRIx64
+                         " w-r: txn seq %" PRIu64 " (key %" PRIu64
+                         ") read at %" PRIu64 " before txn seq %" PRIu64
+                         " (key %" PRIu64 ") wrote at %" PRIu64
+                         " despite serializing after it",
+                         addr_of_line(ft.line), sw.seq, sw.key, st.read,
+                         f.seq, f.key, ft.write));
+      }
+      if (ft.read != kNever && st.write != kNever && st.write < ft.read) {
+        violation(format("conflict order: line %#" PRIx64
+                         " r-w: txn seq %" PRIu64 " (key %" PRIu64
+                         ") wrote at %" PRIu64 " before txn seq %" PRIu64
+                         " (key %" PRIu64 ") read at %" PRIu64
+                         " despite serializing after it",
+                         addr_of_line(ft.line), sw.seq, sw.key, st.write,
+                         f.seq, f.key, ft.read));
+      }
+      ++i;
+      ++j;
     }
   }
 }
@@ -246,7 +302,9 @@ void HistoryOracle::prune_window(Cycle now) {
   // A sealed window can only conflict-overlap transactions that began
   // before it released. Once every live (staged or parked) transaction
   // began at or after its release -- and any future one begins at >= now --
-  // it can never be paired again.
+  // it can never be paired again. (Reference mode retains everything; the
+  // disjointness test in check_window_conflicts makes that verdict-neutral.)
+  if (reference_) return;
   Cycle min_begin = now;
   for (const Staged& s : staged_) {
     if (s.active) min_begin = std::min(min_begin, s.begin_cycle);
@@ -257,13 +315,25 @@ void HistoryOracle::prune_window(Cycle now) {
     }
   }
   std::size_t out = 0;
+  window_sig_union_.rw.clear();
+  window_sig_union_.wr.clear();
   for (std::size_t i = 0; i < window_.size(); ++i) {
-    if (window_[i].release_cycle > min_begin) {
-      if (out != i) window_[out] = std::move(window_[i]);
+    if (window_release_[i] > min_begin) {
+      window_sig_union_.rw.merge(window_sigs_[i].rw);
+      window_sig_union_.wr.merge(window_sigs_[i].wr);
+      if (out != i) {
+        window_[out] = std::move(window_[i]);
+        window_release_[out] = window_release_[i];
+        window_sigs_[out] = window_sigs_[i];
+      }
       ++out;
+    } else if (window_[i].touches.capacity() != 0) {
+      touch_pool_.push_back(std::move(window_[i].touches));
     }
   }
   window_.resize(out);
+  window_release_.resize(out);
+  window_sigs_.resize(out);
 }
 
 std::uint64_t HistoryOracle::horizon(Cycle now) const {
@@ -272,101 +342,90 @@ std::uint64_t HistoryOracle::horizon(Cycle now) const {
   // with key 2*commit_start. (We cannot tell lazy committers apart until
   // they seal, so treat every committer conservatively as eager.)
   std::uint64_t h = make_key(now, false);
-  for (const Staged& s : staged_) {
-    if (s.active && s.committing) {
-      h = std::min(h, make_key(s.commit_start, false));
+  if (committing_count_ != 0) {
+    for (const Staged& s : staged_) {
+      if (s.active && s.committing) {
+        h = std::min(h, make_key(s.commit_start, false));
+      }
     }
   }
   return h;
 }
 
 void HistoryOracle::drain(Cycle now) {
+  if (reference_) return;
   const std::uint64_t h = horizon(now);
   for (;;) {
     const bool have_t = !pending_txns_.empty() && pending_txns_.front().key < h;
     const bool have_n =
-        !pending_nontx_.empty() && pending_nontx_.front().key < h;
+        nontx_head_ < nontx_q_.size() &&
+        make_key(nontx_q_[nontx_head_].cycle, false) < h;
     if (!have_t && !have_n) break;
     // At equal keys the transaction replays first: a conflicting
     // non-transactional access admitted in the same cycle had to wait for
     // the transaction's isolation release.
     if (have_t &&
-        (!have_n || pending_txns_.front().key <= pending_nontx_.front().key)) {
-      replay_txn(pending_txns_.front().accesses);
+        (!have_n || pending_txns_.front().key <=
+                        make_key(nontx_q_[nontx_head_].cycle, false))) {
+      replay_txn(pending_txns_.front().recs);
       pending_txns_.pop_front();
     } else {
-      replay_one(pending_nontx_.front().access);
-      pending_nontx_.pop_front();
+      replay_one(nontx_q_[nontx_head_++]);
     }
+  }
+  if (nontx_head_ == nontx_q_.size()) {
+    nontx_q_.clear();
+    nontx_head_ = 0;
+  } else if (nontx_head_ > 4096 && nontx_head_ > nontx_q_.size() / 2) {
+    nontx_q_.erase(nontx_q_.begin(),
+                   nontx_q_.begin() + static_cast<std::ptrdiff_t>(nontx_head_));
+    nontx_head_ = 0;
   }
 }
 
 void HistoryOracle::drain_all() {
   for (;;) {
     const bool have_t = !pending_txns_.empty();
-    const bool have_n = !pending_nontx_.empty();
+    const bool have_n = nontx_head_ < nontx_q_.size();
     if (!have_t && !have_n) break;
     if (have_t &&
-        (!have_n || pending_txns_.front().key <= pending_nontx_.front().key)) {
-      replay_txn(pending_txns_.front().accesses);
+        (!have_n || pending_txns_.front().key <=
+                        make_key(nontx_q_[nontx_head_].cycle, false))) {
+      replay_txn(pending_txns_.front().recs);
       pending_txns_.pop_front();
     } else {
-      replay_one(pending_nontx_.front().access);
-      pending_nontx_.pop_front();
+      replay_one(nontx_q_[nontx_head_++]);
     }
   }
+  nontx_q_.clear();
+  nontx_head_ = 0;
 }
 
 void HistoryOracle::replay_one(const AccessRec& a) {
   ++replayed_;
-  if (a.is_write) {
-    replay_[a.word] = a.value;
+  if (a.is_write()) {
+    shadow_.store(a.word(), a.value);
     return;
   }
-  auto it = replay_.find(a.word);
-  if (it == replay_.end()) {
-    // First reference in serialization order: the observed value defines
-    // the word's initial contents.
-    replay_[a.word] = a.value;
-  } else if (it->second != a.value) {
+  std::uint64_t expect;
+  if (!shadow_.read_check(a.word(), a.value, &expect)) {
     violation(format("replay: read of %#" PRIx64 " observed %#" PRIx64
                      " but the serial history holds %#" PRIx64,
-                     a.word, a.value, it->second));
+                     a.word(), a.value, expect));
   }
 }
 
-void HistoryOracle::replay_txn(const std::vector<AccessRec>& accesses) {
-  scratch_own_.clear();
-  for (const AccessRec& a : accesses) {
-    ++replayed_;
-    if (a.is_write) {
-      scratch_own_[a.word] = a.value;
-      continue;
-    }
-    auto own = scratch_own_.find(a.word);
-    if (own != scratch_own_.end()) {
-      if (own->second != a.value) {
-        violation(format("replay: read of %#" PRIx64 " observed %#" PRIx64
-                         " but the transaction itself wrote %#" PRIx64,
-                         a.word, a.value, own->second));
-      }
-      continue;
-    }
-    auto it = replay_.find(a.word);
-    if (it == replay_.end()) {
-      replay_[a.word] = a.value;
-    } else if (it->second != a.value) {
-      violation(format("replay: read of %#" PRIx64 " observed %#" PRIx64
-                       " but the serial history holds %#" PRIx64,
-                       a.word, a.value, it->second));
-    }
-  }
-  // lint: allow(nondet-iteration): drains into a map keyed by word; the
-  // resulting replay_ content is the same whatever the visit order
-  for (const auto& kv : scratch_own_) replay_[kv.first] = kv.second;
+void HistoryOracle::replay_txn(RecStream& recs) {
+  // A transaction's writes apply to the model in access order: a later
+  // in-transaction read of its own store then checks against that store,
+  // and no other transaction's accesses can interleave (the whole stream
+  // replays at one serialization point). Pages retire to the pool as the
+  // replay passes them.
+  recs.consume(pool_, [this](const AccessRec& a) { replay_one(a); });
 }
 
 void HistoryOracle::finalize(
+    // lint: allow(std-function): once-per-run entry point, not a sim path
     const std::function<std::uint64_t(Addr)>& resolved_load) {
   for (CoreId c = 0; c < staged_.size(); ++c) {
     if (staged_[c].active) {
@@ -378,25 +437,30 @@ void HistoryOracle::finalize(
   }
   drain_all();
   window_.clear();
+  window_release_.clear();
+  window_sigs_.clear();
+  window_sig_union_.rw.clear();
+  window_sig_union_.wr.clear();
   if (!resolved_load) return;
   // Sweep the final image in ascending word order: violation() caps the
-  // report at 64, so a hash-order walk of replay_ would let the FlatMap's
-  // hash policy pick which mismatches get reported instead of the lowest
-  // addresses (suvlint: nondet-iteration).
-  std::vector<Addr> addrs;
-  addrs.reserve(replay_.size());
-  // lint: allow(nondet-iteration): order laundered by the sort below
-  for (const auto& kv : replay_) addrs.push_back(kv.first);
-  std::sort(addrs.begin(), addrs.end());
-  for (Addr w : addrs) {
-    const std::uint64_t expect = replay_.find(w)->second;
-    const std::uint64_t actual = resolved_load(w);
-    if (actual != expect) {
-      violation(format("final state: word %#" PRIx64 " is %#" PRIx64
-                       " but serial replay yields %#" PRIx64,
-                       w, actual, expect));
-    }
-  }
+  // report at 64, so the walk must be deterministic for the lowest
+  // addresses to win (ShadowStore's sorted visit guarantees that).
+  shadow_.for_each_defined_sorted(
+      [&](Addr w, std::uint64_t expect, bool /*written*/) {
+        const std::uint64_t actual = resolved_load(w);
+        if (actual != expect) {
+          violation(format("final state: word %#" PRIx64 " is %#" PRIx64
+                           " but serial replay yields %#" PRIx64,
+                           w, actual, expect));
+        }
+      });
+}
+
+FlatMap<Addr, std::uint64_t> HistoryOracle::replay_image() const {
+  FlatMap<Addr, std::uint64_t> img;
+  shadow_.for_each_defined_sorted(
+      [&](Addr w, std::uint64_t v, bool /*written*/) { img.emplace(w, v); });
+  return img;
 }
 
 void HistoryOracle::violation(std::string msg) {

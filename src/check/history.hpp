@@ -27,33 +27,37 @@
 // transaction's effective write time is likewise its publish cycle.
 //
 // The oracle is streaming: sealed transactions replay as soon as no
-// earlier-serializing transaction can still be in flight, so memory is
-// bounded by the run's data footprint plus the live-transaction window --
-// not by history length.
+// earlier-serializing transaction can still be in flight, and their arena
+// pages return to the pool page-by-page as the replay passes them, so
+// memory is bounded by the run's data footprint plus the live-transaction
+// window -- not by history length. Recording is a bump-pointer append into
+// a pooled RecStream (arena.hpp); the model memory is a page-granular
+// ShadowStore so a replayed access is a load and a compare.
+//
+// Reference mode (cfg.check.reference) disables both the streaming drain
+// and the window pruning: the whole history is retained and replayed only
+// at finalize(). It exists purely as the differential-testing baseline the
+// equivalence suite compares the incremental oracle against; verdicts are
+// identical by construction (pruned windows are provably disjoint from
+// every later window, and drain order equals finalize order).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "check/arena.hpp"
 #include "common/flat_hash.hpp"
 #include "common/types.hpp"
 
 namespace suvtm::check {
 
-/// Aligned-word access as observed by the simulated core.
-struct AccessRec {
-  Addr word;
-  std::uint64_t value;
-  Cycle cycle;
-  bool is_write;
-};
-
 class HistoryOracle {
  public:
-  explicit HistoryOracle(std::uint32_t num_cores);
+  explicit HistoryOracle(std::uint32_t num_cores, bool reference = false);
 
   // ---- recording hooks (driven by check::Checker) --------------------------
   void on_begin(CoreId c, Cycle now);
@@ -62,10 +66,20 @@ class HistoryOracle {
   /// Inner frame partially aborted: its accesses are expunged (their
   /// version-state was rolled back), its isolation footprint remains.
   void on_frame_rollback(CoreId c);
+  /// Hot path: one bump-pointer append for an in-flight transactional
+  /// access, plus a compare against the open access run (same line, same
+  /// kind) that keeps the per-transaction touch stream run-compressed as
+  /// it is recorded -- seal() then summarizes the (short) run stream
+  /// instead of re-walking every record. Everything else (page overflow,
+  /// non-transactional accesses, protocol violations) drops out of line.
   void on_read(CoreId c, bool in_tx, Addr word, std::uint64_t value,
-               Cycle now);
+               Cycle now) {
+    on_access(c, in_tx, word, value, now, /*is_write=*/false);
+  }
   void on_write(CoreId c, bool in_tx, Addr word, std::uint64_t value,
-                Cycle now);
+                Cycle now) {
+    on_access(c, in_tx, word, value, now, /*is_write=*/true);
+  }
   void on_commit_start(CoreId c, Cycle now);
   /// Outermost commit completed; the transaction's effects are published.
   void on_commit_done(CoreId c, Cycle now, bool lazy);
@@ -76,40 +90,64 @@ class HistoryOracle {
   /// Drain every pending record, then compare the replayed model memory
   /// against the simulator (resolved_load must follow live redirections).
   /// Violations found at any stage accumulate in violations().
+  /// Runs once per simulation, so the type-erased callback is fine here.
+  // lint: allow(std-function): once-per-run entry point, not a sim path
   void finalize(const std::function<std::uint64_t(Addr)>& resolved_load);
 
   std::uint64_t committed_txns() const { return commit_seq_; }
   std::uint64_t replayed_accesses() const { return replayed_; }
   const std::vector<std::string>& violations() const { return violations_; }
-  /// Model memory after finalize(): the serial-replay value of every word
-  /// any committed access touched.
-  const FlatMap<Addr, std::uint64_t>& replay_image() const { return replay_; }
+  /// Model memory after finalize(), materialized as a word -> value table:
+  /// the serial-replay value of every word any committed access touched.
+  FlatMap<Addr, std::uint64_t> replay_image() const;
+  /// Was this word the target of any replayed committed write? (Words only
+  /// ever read report false.) Valid after finalize().
+  bool replay_written(Addr word) const { return shadow_.written(word); }
+  /// Page-granular view of the replay image's written bits (nullptr when
+  /// the page saw no replayed access); lets the checker's image sweep test
+  /// a whole page's words without per-word map probes.
+  const ShadowStore::Page* replay_page(std::uint64_t page_id) const {
+    return shadow_.page(page_id);
+  }
+  /// Arena pages ever allocated: with streaming retirement this is bounded
+  /// by the live-transaction window, not by history length.
+  std::size_t arena_pages() const { return pool_.pages_allocated(); }
 
  private:
   static constexpr Cycle kNever = ~Cycle{0};
+  static constexpr LineAddr kNoLine = ~LineAddr{0};
 
-  /// First-touch times of one line by one transaction. `write` is the first
-  /// physical in-place store for eager transactions and the publish cycle
-  /// (assigned at seal) for lazy ones.
-  struct Touch {
-    Cycle first_read = kNever;
-    Cycle first_write = kNever;
-  };
   struct TouchRec {
     LineAddr line;
-    Cycle read;
-    Cycle write;
+    Cycle read;   ///< first-read cycle (kNever if never read)
+    Cycle write;  ///< first-write cycle; publish cycle for lazy txns
+  };
+
+  /// One maximal run of same-line same-kind accesses, recorded at its
+  /// first access. The stream preserves access order, so seal() recovers
+  /// exact first-touch times by min-merging runs per line.
+  struct TouchRun {
+    LineAddr line;
+    Cycle cycle;
+    bool is_write;
+  };
+
+  struct FrameMark {
+    std::uint64_t recs;
+    std::uint32_t runs;
   };
 
   /// An in-flight (or suspended) transaction's recorded state.
   struct Staged {
     bool active = false;
     bool committing = false;
+    bool run_write = false;       // kind of the open access run
     Cycle begin_cycle = 0;
     Cycle commit_start = 0;
-    std::vector<AccessRec> accesses;
-    std::vector<std::size_t> frame_marks;
-    FlatMap<LineAddr, Touch> touches;
+    LineAddr run_line = kNoLine;  // line of the open access run
+    RecStream recs;
+    std::vector<TouchRun> runs;   // run-compressed touch stream
+    std::vector<FrameMark> frame_marks;
   };
 
   /// Sealed accesses awaiting replay (kept until the serialization horizon
@@ -117,20 +155,61 @@ class HistoryOracle {
   struct PendingTxn {
     std::uint64_t key;
     std::uint64_t seq;
-    std::vector<AccessRec> accesses;
+    RecStream recs;
   };
-  struct PendingNonTx {
-    std::uint64_t key;
-    AccessRec access;
+
+  /// Footprint summary: a 512-bit one-hash Bloom filter over touched
+  /// lines. Two windows whose summaries do not intersect provably share no
+  /// line, so the pairing loop skips their touch-list merge entirely. The
+  /// width matters: typical footprints run tens of lines, which saturates
+  /// a single word but keeps a 512-bit filter's pairwise false-positive
+  /// rate low enough that most overlapping pairs skip the merge.
+  struct LineSig {
+    std::array<std::uint64_t, 8> w{};
+    static std::uint64_t hash(LineAddr line) {
+      return (line * 0x9E3779B97F4A7C15ull) >> 55;
+    }
+    void add(LineAddr line) {
+      const std::uint64_t h = hash(line);
+      w[(h >> 6) & 7] |= 1ull << (h & 63);
+    }
+    bool test(LineAddr line) const {
+      const std::uint64_t h = hash(line);
+      return (w[(h >> 6) & 7] >> (h & 63) & 1) != 0;
+    }
+    bool intersects(const LineSig& o) const {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < 8; ++i) acc |= w[i] & o.w[i];
+      return acc != 0;
+    }
+    void merge(const LineSig& o) {
+      for (std::size_t i = 0; i < 8; ++i) w[i] |= o.w[i];
+    }
+    void clear() { w.fill(0); }
+  };
+
+  /// Read/write footprint summary of one window. A pair of windows can
+  /// only carry a conflict-ordering violation on a line one of them WROTE,
+  /// so the pair filter is (a.wr n b.rw) | (a.rw n b.wr): lines shared
+  /// read-only -- the overwhelmingly common kind of sharing -- never pay a
+  /// touch-list merge.
+  struct WinSig {
+    LineSig rw;  ///< every touched line
+    LineSig wr;  ///< written lines only
+    bool conflicts(const WinSig& o) const {
+      return wr.intersects(o.rw) || rw.intersects(o.wr);
+    }
   };
 
   /// Sealed conflict footprint retained while a live transaction's window
-  /// can still overlap it.
+  /// can still overlap it. `touches` is sorted by line and unique (one
+  /// entry per line with its first-touch times). The release cycle and
+  /// footprint signatures live in the parallel window_release_/window_sigs_
+  /// arrays so the pairing scan reads contiguous memory.
   struct SealedWindow {
     std::uint64_t key;
     std::uint64_t seq;
     Cycle begin_cycle;
-    Cycle release_cycle;
     bool lazy;
     std::vector<TouchRec> touches;
   };
@@ -140,31 +219,54 @@ class HistoryOracle {
     return (static_cast<std::uint64_t>(cycle) << 1) | (lazy ? 1u : 0u);
   }
 
-  void record_access(CoreId c, bool in_tx, Addr word, std::uint64_t value,
-                     bool is_write, Cycle now);
-  static void touch(Staged& s, LineAddr line, bool is_write, Cycle now);
-  static void rebuild_touches(Staged& s);
+  void on_access(CoreId c, bool in_tx, Addr word, std::uint64_t value,
+                 Cycle now, bool is_write) {
+    Staged& s = staged_[c];
+    if (in_tx && s.active) [[likely]] {
+      const LineAddr line = line_of(word);
+      if (line != s.run_line || is_write != s.run_write) {
+        s.run_line = line;
+        s.run_write = is_write;
+        s.runs.push_back({line, now, is_write});
+      }
+      if (s.recs.try_append(AccessRec::make(word, value, now, is_write)))
+          [[likely]] {
+        return;
+      }
+    }
+    record_slow(c, in_tx, word, value, is_write, now);
+  }
+  void record_slow(CoreId c, bool in_tx, Addr word, std::uint64_t value,
+                   bool is_write, Cycle now);
   void seal(CoreId c, Cycle now, bool lazy);
-  void check_window_conflicts(const SealedWindow& b);
+  void check_window_conflicts(const SealedWindow& b, const WinSig& b_sig);
+  void check_window_pair(const SealedWindow& a, const SealedWindow& b);
   void prune_window(Cycle now);
   /// Replay every pending record whose key is below the safe horizon.
   void drain(Cycle now);
   void drain_all();
-  void replay_txn(const std::vector<AccessRec>& accesses);
+  void replay_txn(RecStream& recs);
   void replay_one(const AccessRec& a);
   std::uint64_t horizon(Cycle now) const;
   void violation(std::string msg);
 
+  ArenaPool pool_;
   std::vector<Staged> staged_;                    // by core
   std::vector<std::vector<Staged>> parked_;       // suspended, FIFO per core
   std::deque<PendingTxn> pending_txns_;           // sorted by (key, seq)
-  std::deque<PendingNonTx> pending_nontx_;        // keys arrive monotonically
+  std::vector<AccessRec> nontx_q_;                // cycle-ordered FIFO ...
+  std::size_t nontx_head_ = 0;                    // ... consumed from here
   std::vector<SealedWindow> window_;
-  FlatMap<Addr, std::uint64_t> replay_;           // model memory
-  FlatMap<Addr, std::uint64_t> scratch_own_;      // per-replayed-txn writes
+  std::vector<Cycle> window_release_;             // parallel: release cycles
+  std::vector<WinSig> window_sigs_;               // parallel: footprint sigs
+  WinSig window_sig_union_;                       // OR of window_sigs_
+  std::vector<std::vector<TouchRec>> touch_pool_; // capacity from pruned windows
+  ShadowStore shadow_;                            // model memory
+  std::uint32_t committing_count_ = 0;            // committing among staged_
   std::uint64_t commit_seq_ = 0;
   std::uint64_t seal_seq_ = 0;
   std::uint64_t replayed_ = 0;
+  bool reference_ = false;
   std::vector<std::string> violations_;
 };
 

@@ -90,6 +90,9 @@ class ConflictManager {
     std::uint64_t cand = probe_columns(write_cols_, lm);
     if (is_write) cand |= probe_columns(read_cols_, lm);
     cand &= isolation_mask_ & ~(1ull << core);
+    grant_cand_ = cand;
+    grant_susp_possible_ =
+        suspended_reads_ != nullptr || suspended_writes_ != nullptr;
     if (cand == 0) [[likely]] {
       // Suspended-transaction summaries are not in the columns; test them
       // here so a registered summary doesn't force every access out of
@@ -98,6 +101,7 @@ class ConflictManager {
           (is_write && suspended_reads_ && suspended_reads_->test_mixed(lm)) ||
           (suspended_writes_ && suspended_writes_->test_mixed(lm));
       if (!susp_hit) [[likely]] {
+        grant_susp_possible_ = false;
         waits_for_[core] = kNoCore;  // == clear_wait(core): access proceeds
         return {};
       }
@@ -156,6 +160,29 @@ class ConflictManager {
 
   const ConflictStats& stats() const { return stats_; }
 
+  /// Cores whose transaction currently holds isolation (the checker's
+  /// grant audit short-circuits when nobody else does).
+  std::uint64_t isolation_mask() const { return isolation_mask_; }
+
+  /// Candidate mask the latest check() computed (columns AND isolation,
+  /// requester excluded) and whether suspended summaries could have hit.
+  /// Valid only inside the event that issued the check: the checker's
+  /// grant audit, which runs immediately after a granted access, reuses
+  /// it as its first filter (exact sets are subsets of the signatures,
+  /// which are subsets of the columns, so a zero mask proves no live
+  /// transaction holds the line). Initialized conservatively so a grant
+  /// audit driven without a preceding check() still takes the slow scan.
+  std::uint64_t grant_candidates() const { return grant_cand_; }
+  bool grant_suspended_possible() const { return grant_susp_possible_; }
+
+  /// Audit support: the raw column candidate mask for `line` (write or
+  /// read columns, no isolation masking). audit_signatures uses it to
+  /// prove the columns stay a superset of every live transaction's sets.
+  std::uint64_t column_mask(LineAddr line, bool writes) const {
+    return probe_columns(writes ? write_cols_ : read_cols_,
+                         Signature::mix(line));
+  }
+
   /// Observability: check() records an abort edge whenever it picks a
   /// victim (deadlock cycle, requester-wins, lazy-reader invalidation).
   void set_obs(obs::Recorder* r) { obs_ = r; }
@@ -205,6 +232,8 @@ class ConflictManager {
 
   std::vector<CoreId> waits_for_;  // kNoCore if not waiting
   std::uint64_t isolation_mask_ = 0;  // cores whose txn holds isolation
+  std::uint64_t grant_cand_ = ~0ull;     // see grant_candidates()
+  bool grant_susp_possible_ = true;
   sim::ConflictPolicy policy_;
   std::uint32_t col_bits_;  // == Signature bits of every probed txn
   std::uint32_t col_k_;     // == Signature hash count of every probed txn

@@ -45,11 +45,13 @@ bool HtmSystem::suspend_txn(CoreId core) {
   Txn& t = *txns_[core];
   if (t.state != TxnState::kRunning) return false;
   suspended_.push_back({core, t});
+  // The checker sees the suspend while the descriptor still holds the
+  // transaction's sets.
+  SUVTM_CHECK_HOOK(checker_, on_suspend(core));
   t.reset_committed();  // fresh descriptor for the next scheduled thread
   conflicts_.set_isolation(core, false);
   rebuild_suspended_summary();
   vm_->on_suspend(core);
-  SUVTM_CHECK_HOOK(checker_, on_suspend(core));
   SUVTM_OBS_HOOK(obs_, on_suspend(core));
   return true;
 }

@@ -56,6 +56,7 @@ class HtmSystem {
   VersionManager& vm() { return *vm_; }
   const VersionManager& vm() const { return *vm_; }
   ConflictManager& conflicts() { return conflicts_; }
+  const ConflictManager& conflicts() const { return conflicts_; }
   mem::MemorySystem& mem() { return mem_; }
   const mem::MemorySystem& mem() const { return mem_; }
   const sim::HtmParams& params() const { return params_; }

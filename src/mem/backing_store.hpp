@@ -48,6 +48,14 @@ class BackingStore {
 
   std::size_t pages_touched() const { return pages_.size(); }
 
+  /// Raw read-only view of one allocated page's words (nullptr when the
+  /// page was never touched). The checker's image snapshot and sweeps use
+  /// it so a 512-word page costs one map probe instead of 512 loads.
+  const std::uint64_t* page_words(std::uint64_t page_id) const {
+    const Page* p = page_for_const(page_id * kPageBytes);
+    return p ? p->data() : nullptr;
+  }
+
   /// Visit the page index of every allocated page (the word at byte address
   /// `id * kPageBytes + i * kWordBytes` is readable via load), in ascending
   /// page order. Used by the checker's full-image sweeps; pages are never

@@ -71,6 +71,8 @@ Cli Cli::parse(int& argc, char** argv) {
       cli.smoke = true;
     } else if (a == "--check") {
       cli.check = true;
+    } else if (a == "--no-check") {
+      cli.no_check = true;
     } else if (a == "--metrics") {
       cli.metrics = true;
     } else if (a == "--trace" && i + 1 < argc) {
@@ -92,6 +94,7 @@ Cli Cli::parse(int& argc, char** argv) {
   argc = w;
   argv[argc] = nullptr;
 
+  if (cli.no_check) cli.check = false;
   if (cli.check && !check::kHooksCompiled) {
     std::fprintf(stderr,
                  "warning: --check requested but this build has "

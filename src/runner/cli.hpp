@@ -27,6 +27,10 @@ struct Cli {
   unsigned sim_threads = 0;
   bool smoke = false;      ///< --smoke: tiny inputs for CI
   bool check = false;      ///< --check: enable the correctness checker
+  /// --no-check: explicitly opt out of checking. Harnesses that default
+  /// checking ON for some mode (bench_scaling --smoke) honour this; it
+  /// never needs consulting where checking is already opt-in.
+  bool no_check = false;
   bool metrics = false;    ///< --metrics: harvest the metrics registry
   std::string trace_path;  ///< --trace <path> / --trace=<path> destination
   bool has_scale = false;

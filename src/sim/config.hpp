@@ -146,9 +146,23 @@ struct CheckParams {
   /// Master switch: record the access history, run the serializability
   /// oracle at end of run, and audit structural invariants while running.
   bool enabled = check_enabled_by_env();
-  /// Run the structural audits every this many commit/abort completions
-  /// (they always run once more at end of run).
-  std::uint32_t audit_interval = 64;
+  /// Sampling period for the full structural audits: run them every this
+  /// many commit completions (0 disables sampling; they always run once
+  /// more at end of run). Sampling trades detection *latency*, not
+  /// soundness: structural corruption is persistent state, so it is caught
+  /// at the next sampled boundary or at finalize -- within N commits of
+  /// its first observable effect. Mutation/negative tests pin this to 1 so
+  /// a corrupted state can never slip through a sampled window.
+  std::uint32_t audit_period = 512;
+  /// Audit the abort-touched structures (signatures + SUV tables) after
+  /// every abort, independent of the sampling period: aborts are where
+  /// version-management bugs surface and they are rare enough to afford it.
+  bool audit_on_abort = true;
+  /// Differential-testing baseline: retain the whole history and replay it
+  /// only at finalize() instead of streaming at the serialization horizon.
+  /// Slower and unbounded in memory; used by the equivalence suite to prove
+  /// the incremental oracle's verdicts identical.
+  bool reference = false;
 };
 
 /// Env-var gate shared by the observability knobs: set (non-empty, not "0")

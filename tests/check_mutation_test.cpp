@@ -44,6 +44,9 @@ class MutationTest : public ::testing::Test {
     // The audits are driven by hand after targeted corruption; the
     // simulator's own checker would (rightly) reject the mutations first.
     cfg.check.enabled = false;
+    // Negative tests must never rely on a sampled audit window: a
+    // corruption has to be caught at the first opportunity.
+    cfg.check.audit_period = 1;
     return cfg;
   }
 
@@ -174,6 +177,7 @@ TEST(CheckerEndToEndTest, HostWriteAfterSnapshotTripsTheSweep) {
   sim::SimConfig cfg;
   cfg.scheme = sim::Scheme::kLogTmSe;
   cfg.check.enabled = false;
+  cfg.check.audit_period = 1;
   sim::Simulator sim(cfg);
   Checker ck(cfg, sim.mem(), sim.htm());
   ck.on_run_start();
@@ -198,12 +202,17 @@ TEST(CheckerGrantAuditTest, GrantIntoLiveWriteSetIsFlagged) {
   sim::SimConfig cfg;
   cfg.scheme = sim::Scheme::kLogTmSe;
   cfg.check.enabled = false;
+  cfg.check.audit_period = 1;
   sim::Simulator sim(cfg);
   Checker ck(cfg, sim.mem(), sim.htm());
   htm::Txn& holder = sim.htm().txn(1);
   holder.state = htm::TxnState::kRunning;
   holder.write_lines.insert(0x50);
   holder.write_sig.add(0x50);
+  // Register the holder's isolation as a live run would; the checker's
+  // candidate filter initializes conservatively, so a directly driven
+  // grant always reaches the full scan.
+  sim.htm().conflicts().set_isolation(1, true);
   // The conflict manager should have NACKed this read; a grant that lands
   // in another transaction's exact write set means isolation broke.
   ck.on_access_granted(0, 0x50, /*exclusive=*/false, /*requester_lazy=*/false);
@@ -214,20 +223,77 @@ TEST(CheckerGrantAuditTest, ReadGrantAgainstReaderIsAllowed) {
   sim::SimConfig cfg;
   cfg.scheme = sim::Scheme::kLogTmSe;
   cfg.check.enabled = false;
+  cfg.check.audit_period = 1;
   sim::Simulator sim(cfg);
   Checker ck(cfg, sim.mem(), sim.htm());
   htm::Txn& holder = sim.htm().txn(1);
   holder.state = htm::TxnState::kRunning;
   holder.read_lines.insert(0x50);
   holder.read_sig.add(0x50);
+  // Force the full scan (isolation held): a shared grant against a mere
+  // reader must still come back clean.
+  sim.htm().conflicts().set_isolation(1, true);
   ck.on_access_granted(0, 0x50, /*exclusive=*/false, /*requester_lazy=*/false);
   EXPECT_TRUE(ck.violations().empty());
+}
+
+// ---- audit sampling --------------------------------------------------------
+
+/// Drive one well-formed (empty) transaction through the checker's hooks.
+void commit_once(Checker& ck, CoreId c, Cycle base) {
+  ck.on_begin(c, base);
+  ck.on_commit_start(c, base + 1);
+  ck.on_commit_done(c, base + 2, /*lazy=*/false);
+}
+
+TEST(AuditSamplingTest, PeriodNCatchesPersistentCorruptionWithinNCommits) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kLogTmSe;
+  cfg.check.enabled = false;
+  cfg.check.audit_period = 4;
+  cfg.check.audit_on_abort = false;  // isolate the sampled commit path
+  sim::Simulator sim(cfg);
+  Checker ck(cfg, sim.mem(), sim.htm());
+  // Persistent corruption: an exact-set line the signature never admitted.
+  // It stays wrong until something audits it.
+  htm::Txn& t = sim.htm().txn(0);
+  t.state = htm::TxnState::kRunning;
+  t.read_lines.insert(0x7777);
+  Cycle now = 10;
+  // Commits 1..3 fall inside the sampled window: no audit runs.
+  for (int i = 0; i < 3; ++i, now += 10) commit_once(ck, 1, now);
+  EXPECT_EQ(ck.audits_run(), 0u);
+  EXPECT_TRUE(ck.violations().empty());
+  // Commit 4 crosses the period boundary: the audit must fire and catch it.
+  commit_once(ck, 1, now);
+  EXPECT_EQ(ck.audits_run(), 1u);
+  EXPECT_TRUE(mentions(ck.violations(), "signature:"));
+}
+
+TEST(AuditSamplingTest, AbortAuditsFireRegardlessOfPeriod) {
+  sim::SimConfig cfg;
+  cfg.scheme = sim::Scheme::kLogTmSe;
+  cfg.check.enabled = false;
+  cfg.check.audit_period = 0;  // sampling off entirely
+  cfg.check.audit_on_abort = true;
+  sim::Simulator sim(cfg);
+  Checker ck(cfg, sim.mem(), sim.htm());
+  // The abort audit is scoped to the aborting attempt, so the corruption
+  // must sit in the aborting core's own descriptor.
+  htm::Txn& t = sim.htm().txn(1);
+  t.state = htm::TxnState::kRunning;
+  t.read_lines.insert(0x7777);
+  ck.on_begin(1, 10);
+  ck.on_abort_done(1);
+  EXPECT_EQ(ck.audits_run(), 1u);
+  EXPECT_TRUE(mentions(ck.violations(), "signature:"));
 }
 
 TEST(CheckerGrantAuditTest, GrantIntoSuspendedWriteSetIsFlagged) {
   sim::SimConfig cfg;
   cfg.scheme = sim::Scheme::kLogTmSe;
   cfg.check.enabled = false;
+  cfg.check.audit_period = 1;
   sim::Simulator sim(cfg);
   Checker ck(cfg, sim.mem(), sim.htm());
   htm::Txn& t = sim.htm().txn(1);

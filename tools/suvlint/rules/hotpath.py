@@ -15,7 +15,11 @@ import re
 
 from engine import Rule
 
-HOT_DIRS = ("src/mem", "src/sim", "src/htm", "src/suv")
+# src/check joined the hot set when its recording path went arena-based:
+# the SUVTM_CHECK hooks sit on every simulated memory access, so the same
+# no-node-containers / no-allocation-in-loop / no-std::function discipline
+# applies there as in the simulator core.
+HOT_DIRS = ("src/mem", "src/sim", "src/htm", "src/suv", "src/check")
 
 _NODE_CONTAINERS = re.compile(
     r"\bstd::(map|set|unordered_map|unordered_set|list|forward_list|"
